@@ -1,0 +1,47 @@
+//! End-to-end CompCpy: offload latency (wall-clock of the simulation, a
+//! proxy for model complexity) and simulated cycle cost per offload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smartdimm::{CompCpyHost, HostConfig, OffloadOp};
+
+fn bench_compcpy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compcpy");
+    group.sample_size(10);
+    for &size in &[4096usize, 16384] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("tls_encrypt", size), &size, |b, &size| {
+            let mut host = CompCpyHost::new(HostConfig::default());
+            let msg = ulp_compress::corpus::text(size, 1);
+            let key = [1u8; 16];
+            let mut i = 0u64;
+            b.iter(|| {
+                let src = host.alloc_pages(size.div_ceil(4096));
+                let dst = host.alloc_pages(size.div_ceil(4096));
+                host.mem_mut().store(src, &msg, 0);
+                i += 1;
+                let iv = [i as u8; 12];
+                let handle = host
+                    .comp_cpy(dst, src, size, OffloadOp::TlsEncrypt { key, iv }, false, 0)
+                    .expect("offload accepted");
+                host.use_buffer(&handle)
+            });
+        });
+    }
+    group.bench_function("compress_page", |b| {
+        let mut host = CompCpyHost::new(HostConfig::default());
+        let page = ulp_compress::corpus::html(4096, 2);
+        b.iter(|| {
+            let src = host.alloc_pages(1);
+            let dst = host.alloc_pages(1);
+            host.mem_mut().store(src, &page, 0);
+            let handle = host
+                .comp_cpy(dst, src, page.len(), OffloadOp::Compress, true, 0)
+                .expect("offload accepted");
+            host.use_buffer(&handle)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compcpy);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Deflate throughput: software (zlib-class) encoder vs the hardware-
+//! model DSA compressor, plus the inflater.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ulp_compress::hwmodel::HwCompressor;
+use ulp_compress::{corpus, deflate, inflate};
+
+fn bench_compress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deflate");
+    group.sample_size(15);
+    for kind in [corpus::Kind::Text, corpus::Kind::Html] {
+        let page = kind.generate(4096, 1);
+        group.throughput(Throughput::Bytes(page.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("software", kind.label()),
+            &page,
+            |b, page| b.iter(|| deflate::compress(page)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("hw_model", kind.label()),
+            &page,
+            |b, page| {
+                b.iter(|| {
+                    let mut hw = HwCompressor::new(Default::default());
+                    hw.compress_page(page)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_inflate(c: &mut Criterion) {
+    let page = corpus::html(4096, 2);
+    let compressed = deflate::compress(&page);
+    let mut group = c.benchmark_group("inflate");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(page.len() as u64));
+    group.bench_function("html_4k", |b| {
+        b.iter(|| inflate::decompress(&compressed).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress, bench_inflate);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! AES-GCM throughput: software sequential baseline vs the out-of-order
+//! cacheline engine that models the TLS DSA.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ulp_crypto::gcm::{AesGcm, Direction, OooGcm};
+
+fn bench_gcm(c: &mut Criterion) {
+    let key = [7u8; 16];
+    let iv = [3u8; 12];
+    let mut group = c.benchmark_group("aes_gcm");
+    group.sample_size(20);
+    for &size in &[4096usize, 16384] {
+        let msg = ulp_compress::corpus::text(size, 1);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("software_seal", size), &msg, |b, msg| {
+            let gcm = AesGcm::new_128(&key);
+            b.iter(|| gcm.seal(&iv, b"", msg));
+        });
+        group.bench_with_input(BenchmarkId::new("dsa_ooo_cachelines", size), &msg, |b, msg| {
+            b.iter(|| {
+                let mut dsa = OooGcm::new(
+                    AesGcm::new_128(&key),
+                    iv,
+                    b"",
+                    msg.len(),
+                    Direction::Encrypt,
+                );
+                for start in (0..msg.len()).step_by(64) {
+                    let end = (start + 64).min(msg.len());
+                    let _ = dsa.process_cacheline(start, &msg[start..end]);
+                }
+                dsa.tag()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sha256(c: &mut Criterion) {
+    let data = ulp_compress::corpus::text(16384, 2);
+    let mut group = c.benchmark_group("sha256");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("digest_16k", |b| {
+        b.iter(|| ulp_crypto::sha256::Sha256::digest(&data))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gcm, bench_sha256);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Substrate micro-benchmarks: cache accesses, DRAM controller
+//! throughput, cuckoo translation-table operations.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cache::{CacheConfig, Llc};
+use dram::{DramSystem, MemorySystemConfig, PhysAddr};
+use smartdimm::xlat::{Mapping, TranslationTable};
+
+fn bench_llc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("llc");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("hit_stream_1k_lines", |b| {
+        let mut llc = Llc::new(CacheConfig::mb(2, 16));
+        for i in 0..1024u64 {
+            llc.write_line(PhysAddr(i * 64), 0, [0u8; 64]);
+        }
+        b.iter(|| {
+            for i in 0..1024u64 {
+                let (_, ev) = llc.read_line(PhysAddr(i * 64), 0, |_| [0u8; 64]);
+                assert!(ev.hit);
+            }
+        });
+    });
+    group.bench_function("miss_stream_1k_lines", |b| {
+        let mut llc = Llc::new(CacheConfig::kb(64, 8));
+        let mut base = 0u64;
+        b.iter(|| {
+            base += 1 << 20;
+            for i in 0..1024u64 {
+                let _ = llc.read_line(PhysAddr(base + i * 64), 0, |_| [0u8; 64]);
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dram");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(1024 * 64));
+    group.bench_function("sequential_read_1k_lines", |b| {
+        let mut sys = DramSystem::new(MemorySystemConfig::default());
+        b.iter(|| {
+            for i in 0..1024u64 {
+                let _ = sys.read64(PhysAddr(i * 64));
+                sys.advance(4);
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_xlat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("translation_table");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(4096));
+    group.bench_function("insert_lookup_4k_pages", |b| {
+        b.iter(|| {
+            let mut t = TranslationTable::new(12288, 8);
+            for page in 0..4096u64 {
+                t.insert(
+                    page * 31,
+                    Mapping::Source {
+                        offload: page,
+                        msg_offset: 0,
+                    },
+                )
+                .unwrap();
+            }
+            for page in 0..4096u64 {
+                assert!(t.lookup(page * 31).is_some());
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_llc, bench_dram, bench_xlat);
+criterion_main!(benches);

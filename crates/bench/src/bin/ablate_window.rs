@@ -1,0 +1,75 @@
+//! §V-B ablation: Deflate DSA parallelization-window size vs compression
+//! ratio and hardware cost.
+//!
+//! The paper fixes the window at 8 bytes, noting that a larger window
+//! "marginally improves the compression ratio and bandwidth, but
+//! exponentially raises the memory requirements and the logic
+//! complexity". This sweep measures both sides of that trade-off on the
+//! synthetic corpora, against software zlib-class deflate as the upper
+//! bound.
+
+use ulp_compress::corpus::Kind;
+use ulp_compress::hwmodel::{HwCompressor, HwDeflateConfig};
+use ulp_compress::{deflate, inflate};
+
+fn main() {
+    let corpora = [Kind::Text, Kind::Html, Kind::Json];
+    let pages: Vec<(Kind, Vec<u8>)> = corpora
+        .iter()
+        .flat_map(|&k| (0..8u64).map(move |s| (k, k.generate(4096, s))))
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for window in [2usize, 4, 8, 16, 32] {
+        let cfg = HwDeflateConfig {
+            window,
+            ..HwDeflateConfig::default()
+        };
+        let mut hw = HwCompressor::new(cfg);
+        let mut in_bytes = 0usize;
+        let mut out_bytes = 0usize;
+        for (_, page) in &pages {
+            let result = hw.compress_page(page);
+            assert_eq!(inflate::decompress(&result.data).unwrap(), *page);
+            in_bytes += page.len();
+            out_bytes += result.data.len();
+        }
+        let ratio = out_bytes as f64 / in_bytes as f64;
+        let bits = cfg.candidate_memory_bits();
+        rows.push(vec![
+            window.to_string(),
+            format!("{:.4}", ratio),
+            format!("{} match", cfg.max_match()),
+            format!("{} Kbit", bits / 1024),
+            format!("{}", hw.stats().lookups_dropped),
+        ]);
+        csv.push(format!("{window},{ratio:.6},{bits}"));
+    }
+    // Software upper bound.
+    let mut in_bytes = 0usize;
+    let mut out_bytes = 0usize;
+    for (_, page) in &pages {
+        in_bytes += page.len();
+        out_bytes += deflate::compress(page).len();
+    }
+    rows.push(vec![
+        "software".to_string(),
+        format!("{:.4}", out_bytes as f64 / in_bytes as f64),
+        "258 match".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+    ]);
+
+    bench::print_table(
+        "§V-B — Deflate DSA window size vs compression ratio and memory cost",
+        &["window", "ratio (out/in)", "comparator", "candidate mem", "dropped lookups"],
+        &rows,
+    );
+    println!("\npaper: bigger window -> marginally better ratio, much more memory");
+    bench::write_csv(
+        "ablate_window.csv",
+        "window,compression_ratio,candidate_memory_bits",
+        &csv,
+    );
+}

@@ -1,0 +1,69 @@
+//! Emits gnuplot scripts for the figure CSVs, mirroring the paper's
+//! artifact workflow ("normalize and plot them using gnuplot scripts").
+//!
+//! After running the `fig*` binaries:
+//! `cd results && gnuplot plot_fig02.gp plot_fig03.gp plot_fig10.gp`
+
+use std::fs;
+
+fn write(name: &str, body: &str) {
+    let path = bench::results_dir().join(name);
+    fs::write(&path, body).expect("write gnuplot script");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    write(
+        "plot_fig02.gp",
+        r#"# Fig. 2: encrypted-flow bandwidth vs packet drops
+set terminal pngcairo size 800,500
+set output 'fig02_smartnic_drops.png'
+set datafile separator ','
+set xlabel 'packet drop rate'
+set ylabel 'goodput (Gbps)'
+set logscale x
+set key top right
+plot 'fig02_smartnic_drops.csv' using ($1+1e-5):2 skip 1 with linespoints title 'CPU (AES-NI)', \
+     'fig02_smartnic_drops.csv' using ($1+1e-5):3 skip 1 with linespoints title 'SmartNIC (autonomous)'
+"#,
+    );
+    write(
+        "plot_fig03.gp",
+        r#"# Fig. 3: HTTPS DRAM traffic normalized to HTTP vs connections
+set terminal pngcairo size 800,500
+set output 'fig03_https_membw.png'
+set datafile separator ','
+set xlabel 'concurrent connections'
+set ylabel 'HTTPS DRAM bytes/req normalized to HTTP'
+set logscale x 2
+plot 'fig03_https_membw.csv' using 1:4 skip 1 with linespoints title 'HTTPS / HTTP'
+"#,
+    );
+    write(
+        "plot_fig09.gp",
+        r#"# Fig. 9: rdCAS/wrCAS trace (addresses over time, per command kind)
+set terminal pngcairo size 1000,600
+set output 'fig09_cas_trace.png'
+set datafile separator ','
+set xlabel 'cycle'
+set ylabel 'physical address'
+set format y '%.0s%cB'
+plot '< grep rdCAS fig09_cas_trace.csv' using 1:3 with dots lc rgb 'red' title 'rdCAS', \
+     '< grep wrCAS fig09_cas_trace.csv' using 1:3 with dots lc rgb 'green' title 'wrCAS'
+"#,
+    );
+    write(
+        "plot_fig10.gp",
+        r#"# Fig. 10: scratchpad occupancy over time per LLC provisioning
+set terminal pngcairo size 900,500
+set output 'fig10_scratchpad.png'
+set datafile separator ','
+set xlabel 'cycle'
+set ylabel 'scratchpad occupancy (bytes)'
+set key top left
+plot for [llc in "4.00MB 2.00MB 0.50MB"] \
+     '< grep '.llc.' fig10_scratchpad.csv' using 2:3 with lines title llc.' LLC'
+"#,
+    );
+    println!("\nrender with: cd results && gnuplot plot_*.gp");
+}

@@ -1,0 +1,61 @@
+//! Table I: slowdown of a co-running scenario — secure Nginx plus a
+//! cache-intensive 505.mcf-like workload on shared LLC and DRAM.
+//!
+//! Paper values: Nginx slows 15.8 % (CPU), 7.3 % (SmartNIC), 28.7 %
+//! (QuickAssist), 9.5 % (SmartDIMM); mcf slows 15.5 / 8.7 / 37.9 /
+//! 10.3 %. The shape to reproduce: offloaded configurations (SmartNIC,
+//! SmartDIMM) interfere far less than the CPU baseline, and QuickAssist
+//! interferes the *most* (its DMA staging copies thrash the cache).
+
+use cache::CacheConfig;
+use platforms::corun::run_corun;
+use platforms::{PlatformKind, UlpKind, WorkloadConfig};
+
+fn main() {
+    let cfg = WorkloadConfig {
+        message_bytes: 4096,
+        connections: 64, // LLC-resident solo, evictable under co-run
+        requests: 1000,
+        ulp: UlpKind::Tls,
+        llc: Some(CacheConfig::mb(2, 16)),
+        ..WorkloadConfig::default()
+    };
+    let platforms = [
+        PlatformKind::Cpu,
+        PlatformKind::SmartNic,
+        PlatformKind::QuickAssist,
+        PlatformKind::SmartDimm,
+    ];
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for &kind in &platforms {
+        let report = run_corun(kind, &cfg, 16 << 20, 0.5);
+        rows.push(vec![
+            format!("{kind:?}"),
+            bench::pct(report.nginx_slowdown),
+            bench::pct(report.mcf_slowdown),
+            format!("{:.0}", report.nginx_solo_cycles),
+            format!("{:.0}", report.nginx_corun_cycles),
+        ]);
+        csv.push(format!(
+            "{:?},{:.4},{:.4}",
+            kind, report.nginx_slowdown, report.mcf_slowdown
+        ));
+    }
+    bench::print_table(
+        "Table I — co-run slowdowns (Nginx TLS + mcf-like), vs solo runs",
+        &[
+            "platform",
+            "Nginx slowdown",
+            "mcf slowdown",
+            "solo cyc/req",
+            "corun cyc/req",
+        ],
+        &rows,
+    );
+    bench::write_csv(
+        "table1_corun.csv",
+        "platform,nginx_slowdown,mcf_slowdown",
+        &csv,
+    );
+}

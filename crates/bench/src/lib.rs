@@ -1,0 +1,95 @@
+//! Shared plumbing for the experiment binaries: result-file locations,
+//! CSV/JSON emission and a fixed-width table printer.
+//!
+//! Every `fig*`/`table*`/`ablate*`/`micro*` binary in `src/bin/` prints
+//! its table to stdout *and* writes machine-readable results under
+//! `results/` at the workspace root, which `EXPERIMENTS.md` references.
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// Resolves (and creates) the workspace-level `results/` directory.
+pub fn results_dir() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let dir = manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root")
+        .join("results");
+    fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Writes a CSV file into `results/`.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    let mut out = String::from(header);
+    out.push('\n');
+    for r in rows {
+        out.push_str(r);
+        out.push('\n');
+    }
+    let path = results_dir().join(name);
+    fs::write(&path, out).expect("write csv");
+    println!("\n[results written to {}]", path.display());
+}
+
+/// Writes a JSON file into `results/`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(name);
+    fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
+        .expect("write json");
+    println!("[results written to {}]", path.display());
+}
+
+/// Prints a fixed-width table: header row plus data rows.
+pub fn print_table(title: &str, columns: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = columns.iter().map(|c| c.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let header: Vec<String> = columns
+        .iter()
+        .zip(&widths)
+        .map(|(c, w)| format!("{c:>w$}"))
+        .collect();
+    println!("{}", header.join("  "));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Formats a ratio as `1.23x`.
+pub fn ratio(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Formats a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_exists() {
+        assert!(results_dir().is_dir());
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(ratio(1.234), "1.23x");
+        assert_eq!(pct(0.215), "21.5%");
+    }
+}

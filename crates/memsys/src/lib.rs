@@ -1,0 +1,746 @@
+//! `memsys` is the host memory system: CPU cores in front of the LLC in
+//! front of the memory controller and DIMMs.
+//!
+//! It provides every memory path the SmartDIMM software stack uses:
+//!
+//! * cached loads/stores (byte-granular, write-back, write-allocate),
+//! * `clflush` with the paper's cost asymmetry — flushing data that is
+//!   already in DRAM is ~50 % faster than flushing dirty cached data
+//!   (§IV-A),
+//! * uncached MMIO reads/writes that bypass the LLC and land directly on
+//!   the DDR bus (how CompCpy registers acceleration ranges),
+//! * DDIO device DMA in both directions (Observation 3's leak-to-DRAM
+//!   behaviour emerges from the cache model),
+//! * a `memcpy` primitive with optional per-cacheline memory barriers —
+//!   the `ordered` mode of Algorithm 2, lines 24–28.
+//!
+//! Time is a single clock domain: DDR4-3200 command-clock cycles
+//! (1600 MHz, 0.625 ns/cycle). CPU-side costs are expressed in the same
+//! unit via [`CostModel`].
+//!
+//! # Example
+//!
+//! ```
+//! use memsys::{MemSystem, MemConfig};
+//! use dram::PhysAddr;
+//!
+//! let mut m = MemSystem::new(MemConfig::default());
+//! m.store(PhysAddr(0x1000), b"hello", 0);
+//! let mut buf = [0u8; 5];
+//! m.load(PhysAddr(0x1000), &mut buf, 0);
+//! assert_eq!(&buf, b"hello");
+//! ```
+
+use cache::{CacheConfig, Llc};
+use dram::{DramSystem, MemorySystemConfig, PhysAddr, CACHELINE};
+use simkit::{Cycle, DetRng};
+
+/// CPU-side operation costs, in DDR command-clock cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// LLC hit latency.
+    pub llc_hit: u64,
+    /// Core-side cost of moving one cacheline during memcpy.
+    pub copy_per_line: u64,
+    /// `clflush` of a line that is resident in the cache.
+    pub flush_present: u64,
+    /// `clflush` of a line that is already only in DRAM (cheaper: the
+    /// paper measures flushing 4 KB as 50 % faster in this case).
+    pub flush_absent: u64,
+    /// A memory fence (`membar`) between ordered copies.
+    pub fence: u64,
+    /// Extra cycles charged on an LLC miss beyond the raw DDR command
+    /// latency: controller queueing, on-chip network, refresh shadow.
+    /// Makes the hit/miss ratio realistic (~12 ns vs ~75 ns).
+    pub miss_extra: u64,
+    /// An uncached MMIO access.
+    pub mmio: u64,
+    /// Store-buffer depth, in cycles of tolerated posted-write backlog:
+    /// when writebacks outpace DRAM by more than this, the writing core
+    /// stalls (write-buffer backpressure). Without it, bursty flushes
+    /// would push their queueing delay onto whoever reads next.
+    pub write_backlog: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            llc_hit: 20,      // ~12.5 ns
+            copy_per_line: 4, // 2.5 ns/64B ≈ 25 GB/s single-core copy
+            flush_present: 40,
+            flush_absent: 20, // the 50% discount from §IV-A
+            fence: 16,
+            miss_extra: 96,
+            mmio: 60,
+            write_backlog: 256,
+        }
+    }
+}
+
+/// Configuration for the host memory system.
+#[derive(Debug, Clone, Default)]
+pub struct MemConfig {
+    /// DRAM topology / timing / tracing.
+    pub dram: MemorySystemConfig,
+    /// LLC geometry. Default: 16 MB, 16-way (a contended slice of a
+    /// server LLC).
+    pub llc: Option<CacheConfig>,
+    /// CPU-side costs.
+    pub cost: CostModel,
+}
+
+/// Summary of a range flush.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlushReport {
+    /// Lines covered by the flushed range.
+    pub lines: u64,
+    /// Lines that were resident (and invalidated).
+    pub resident: u64,
+    /// Dirty lines written back to DRAM.
+    pub dirty_writebacks: u64,
+    /// Total cycles consumed.
+    pub cycles: u64,
+}
+
+/// A co-runner's memory traffic, injected between the foreground's
+/// accesses: it evicts LLC lines and occupies DRAM buses and banks
+/// (raising the foreground's miss rate and miss latency) without
+/// advancing the foreground's clock — i.e. pure contention, the way a
+/// concurrently running workload interferes on real hardware.
+#[derive(Debug, Clone)]
+pub struct BackgroundTraffic {
+    /// Base of the co-runner's arena.
+    pub base: PhysAddr,
+    /// Frequently re-touched lines (LLC-resident when running alone).
+    pub hot_lines: u64,
+    /// Streaming/irregular lines (always missing).
+    pub cold_lines: u64,
+    /// Fraction of accesses that touch the hot region.
+    pub hot_fraction: f64,
+    /// Background accesses injected per foreground memory operation.
+    pub per_op: f64,
+    /// LLC allocation class for the background traffic.
+    pub class: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// The host memory system.
+pub struct MemSystem {
+    llc: Llc,
+    dram: DramSystem,
+    cost: CostModel,
+    bg: Option<(BackgroundTraffic, DetRng)>,
+    bg_acc: f64,
+    bg_active: bool,
+}
+
+impl std::fmt::Debug for MemSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemSystem")
+            .field("now", &self.now())
+            .field("llc", &self.llc)
+            .finish()
+    }
+}
+
+impl MemSystem {
+    /// Builds the memory system.
+    pub fn new(config: MemConfig) -> MemSystem {
+        let llc_cfg = config.llc.unwrap_or_else(|| CacheConfig::mb(16, 16));
+        MemSystem {
+            llc: Llc::new(llc_cfg),
+            dram: DramSystem::new(config.dram),
+            cost: config.cost,
+            bg: None,
+            bg_acc: 0.0,
+            bg_active: false,
+        }
+    }
+
+    /// Installs (or removes) a background co-runner whose traffic is
+    /// injected between foreground accesses.
+    pub fn set_background(&mut self, bg: Option<BackgroundTraffic>) {
+        self.bg = bg.map(|b| {
+            let rng = DetRng::new(b.seed);
+            (b, rng)
+        });
+        self.bg_acc = 0.0;
+    }
+
+    /// Issues any background accesses owed for one foreground operation.
+    fn bg_tick(&mut self) {
+        if self.bg_active {
+            return; // re-entrancy guard: bg accesses don't spawn bg accesses
+        }
+        let Some((bg, _)) = &self.bg else { return };
+        self.bg_acc += bg.per_op;
+        let n = self.bg_acc as usize;
+        if n == 0 {
+            return;
+        }
+        self.bg_acc -= n as f64;
+        self.bg_active = true;
+        for _ in 0..n {
+            let (bg, rng) = self.bg.as_mut().expect("bg present");
+            let hot = rng.gen_bool(bg.hot_fraction);
+            let line = if hot {
+                rng.gen_range(0..bg.hot_lines.max(1))
+            } else {
+                bg.hot_lines + rng.gen_range(0..bg.cold_lines.max(1))
+            };
+            let addr = PhysAddr(bg.base.0 + line * 64);
+            let class = bg.class;
+            // The access perturbs cache/bus/bank state but does not
+            // advance the foreground's clock.
+            let dram = &mut self.dram;
+            let (_, ev) = self.llc.read_line(addr, class, |a| {
+                dram.read64_tagged(a, 63).0
+            });
+            if let Some(wb) = ev.writeback {
+                self.dram.write64_tagged(wb.addr, &wb.data, 63);
+            }
+        }
+        self.bg_active = false;
+    }
+
+    /// Current time (DDR command-clock cycles).
+    pub fn now(&self) -> Cycle {
+        self.dram.now()
+    }
+
+    /// Advances time (e.g. to model CPU compute between memory ops).
+    pub fn advance(&mut self, cycles: u64) {
+        self.dram.advance(cycles);
+    }
+
+    /// The LLC (for CAT configuration and statistics).
+    pub fn llc(&self) -> &Llc {
+        &self.llc
+    }
+
+    /// Mutable LLC access.
+    pub fn llc_mut(&mut self) -> &mut Llc {
+        &mut self.llc
+    }
+
+    /// The DRAM system (for statistics, traces and DIMM installation).
+    pub fn dram(&self) -> &DramSystem {
+        &self.dram
+    }
+
+    /// Mutable DRAM access.
+    pub fn dram_mut(&mut self) -> &mut DramSystem {
+        &mut self.dram
+    }
+
+    /// The CPU cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    fn fill_from_dram(dram: &mut DramSystem, addr: PhysAddr, tag: u64) -> ([u8; 64], u64) {
+        dram.read64_tagged(addr, tag)
+    }
+
+    /// Loads one cacheline through the LLC, advancing time by the hit or
+    /// miss latency.
+    pub fn load_line(&mut self, addr: PhysAddr, class: usize) -> [u8; 64] {
+        self.bg_tick();
+        let dram = &mut self.dram;
+        let mut miss_latency = 0u64;
+        let (data, ev) = self.llc.read_line(addr, class, |a| {
+            let (d, lat) = Self::fill_from_dram(dram, a, class as u64);
+            miss_latency = lat;
+            d
+        });
+        if let Some(wb) = ev.writeback {
+            let done = self.dram.write64_tagged(wb.addr, &wb.data, class as u64);
+            self.write_backpressure(done);
+        }
+        if ev.hit {
+            self.dram.advance(self.cost.llc_hit);
+        } else {
+            self.dram
+                .advance(self.cost.llc_hit + miss_latency + self.cost.miss_extra);
+        }
+        data
+    }
+
+    /// Stalls the writer if the posted-write backlog exceeds the store
+    /// buffer depth (write-buffer backpressure).
+    fn write_backpressure(&mut self, done: Cycle) {
+        let limit = self.cost.write_backlog;
+        let now = self.dram.now();
+        if done.raw() > now.raw() + limit {
+            self.dram.advance_to(Cycle(done.raw() - limit));
+        }
+    }
+
+    /// Stores one full cacheline through the LLC (write-allocate).
+    pub fn store_line(&mut self, addr: PhysAddr, data: [u8; 64], class: usize) {
+        self.bg_tick();
+        let ev = self.llc.write_line(addr, class, data);
+        if let Some(wb) = ev.writeback {
+            let done = self.dram.write64_tagged(wb.addr, &wb.data, class as u64);
+            self.write_backpressure(done);
+        }
+        self.dram.advance(self.cost.llc_hit);
+    }
+
+    /// Byte-granular load through the cache.
+    pub fn load(&mut self, addr: PhysAddr, buf: &mut [u8], class: usize) {
+        let mut cur = addr.0;
+        let mut off = 0usize;
+        while off < buf.len() {
+            let line = PhysAddr(cur).cacheline();
+            let start = (cur - line.0) as usize;
+            let take = (buf.len() - off).min(CACHELINE - start);
+            let data = self.load_line(line, class);
+            buf[off..off + take].copy_from_slice(&data[start..start + take]);
+            cur += take as u64;
+            off += take;
+        }
+    }
+
+    /// Byte-granular store through the cache (read-modify-write on
+    /// partial lines).
+    pub fn store(&mut self, addr: PhysAddr, bytes: &[u8], class: usize) {
+        let mut cur = addr.0;
+        let mut off = 0usize;
+        while off < bytes.len() {
+            let line = PhysAddr(cur).cacheline();
+            let start = (cur - line.0) as usize;
+            let take = (bytes.len() - off).min(CACHELINE - start);
+            let mut data = if start == 0 && take == CACHELINE {
+                [0u8; 64]
+            } else {
+                self.load_line(line, class)
+            };
+            data[start..start + take].copy_from_slice(&bytes[off..off + take]);
+            self.store_line(line, data, class);
+            cur += take as u64;
+            off += take;
+        }
+    }
+
+    /// `memcpy(dst, src, size)` at cacheline granularity: loads from
+    /// `src` through the cache and stores to `dst` through the cache —
+    /// the access pattern CompCpy piggybacks on. With `ordered`, a fence
+    /// is inserted after every line (Algorithm 2 lines 24–28).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is not cacheline aligned.
+    pub fn memcpy(&mut self, dst: PhysAddr, src: PhysAddr, size: usize, class: usize, ordered: bool) {
+        assert!(src.is_line_aligned() && dst.is_line_aligned(), "memcpy alignment");
+        let mut off = 0u64;
+        while (off as usize) < size {
+            let take = (size - off as usize).min(CACHELINE);
+            let mut data = self.load_line(PhysAddr(src.0 + off), class);
+            if take < CACHELINE {
+                // Partial tail line: merge with destination contents.
+                let old = self.load_line(PhysAddr(dst.0 + off), class);
+                data[take..].copy_from_slice(&old[take..]);
+            }
+            self.store_line(PhysAddr(dst.0 + off), data, class);
+            self.dram.advance(self.cost.copy_per_line);
+            if ordered {
+                self.dram.advance(self.cost.fence);
+            }
+            off += take as u64;
+        }
+    }
+
+    /// `clflush` over a byte range: invalidates every covered line,
+    /// writing dirty ones back to DRAM. Models the paper's measured cost
+    /// asymmetry between cached and uncached data.
+    pub fn flush(&mut self, addr: PhysAddr, size: usize) -> FlushReport {
+        let start = addr.cacheline().0;
+        let end = addr.0 + size as u64;
+        let mut report = FlushReport::default();
+        let mut cur = start;
+        while cur < end {
+            let line = PhysAddr(cur);
+            report.lines += 1;
+            if self.llc.contains(line) {
+                report.resident += 1;
+                if let Some(wb) = self.llc.flush_line(line) {
+                    report.dirty_writebacks += 1;
+                    let done = self.dram.write64(wb.addr, &wb.data);
+                    self.write_backpressure(done);
+                } else {
+                    // flush_line on a clean resident line invalidates it.
+                }
+                report.cycles += self.cost.flush_present;
+                self.dram.advance(self.cost.flush_present);
+            } else {
+                report.cycles += self.cost.flush_absent;
+                self.dram.advance(self.cost.flush_absent);
+            }
+            cur += CACHELINE as u64;
+        }
+        report
+    }
+
+    /// Uncached MMIO write: 64 bytes straight onto the DDR bus (the
+    /// CompCpy registration path, §IV-C).
+    pub fn mmio_write64(&mut self, addr: PhysAddr, data: &[u8; 64]) {
+        // MMIO must not leave a stale cached copy.
+        if let Some(wb) = self.llc.flush_line(addr) {
+            self.dram.write64(wb.addr, &wb.data);
+        }
+        self.dram.write64(addr, data);
+        self.dram.advance(self.cost.mmio);
+    }
+
+    /// Uncached MMIO read of 64 bytes.
+    pub fn mmio_read64(&mut self, addr: PhysAddr) -> [u8; 64] {
+        if let Some(wb) = self.llc.flush_line(addr) {
+            self.dram.write64(wb.addr, &wb.data);
+        }
+        let (data, lat) = self.dram.read64(addr);
+        self.dram.advance(self.cost.mmio + lat);
+        data
+    }
+
+    /// Device DMA write (NIC RX or storage read): DDIO allocates the
+    /// lines into the DDIO ways; spills go to DRAM.
+    pub fn dma_write(&mut self, addr: PhysAddr, bytes: &[u8]) {
+        let mut cur = addr.0;
+        let mut off = 0usize;
+        while off < bytes.len() {
+            let line = PhysAddr(cur).cacheline();
+            let start = (cur - line.0) as usize;
+            let take = (bytes.len() - off).min(CACHELINE - start);
+            let mut data = if start == 0 && take == CACHELINE {
+                [0u8; 64]
+            } else {
+                // Partial line: merge with current contents.
+                match self.llc.dev_read_line(line) {
+                    Some(d) => d,
+                    None => self.dram.read64(line).0,
+                }
+            };
+            data[start..start + take].copy_from_slice(&bytes[off..off + take]);
+            let ev = self.llc.dev_write_line(line, data);
+            if let Some(wb) = ev.writeback {
+                self.dram.write64(wb.addr, &wb.data);
+            }
+            cur += take as u64;
+            off += take;
+        }
+    }
+
+    /// Device DMA write that bypasses the LLC entirely (no DDIO
+    /// allocation): cached copies are invalidated and the data lands
+    /// straight on the DDR bus. This is the ingress path of the paper's
+    /// *Compute DMA* extension (§IV-E): the buffer device observes every
+    /// wrCAS and can transform the stream as it arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `addr` is cacheline aligned (device rings are).
+    pub fn dma_write_through(&mut self, addr: PhysAddr, bytes: &[u8]) {
+        assert!(addr.is_line_aligned(), "DMA writes are line aligned");
+        let mut off = 0usize;
+        while off < bytes.len() {
+            let line = PhysAddr(addr.0 + off as u64);
+            let take = (bytes.len() - off).min(CACHELINE);
+            let mut data = [0u8; 64];
+            if take < CACHELINE {
+                data = self.dram.read64(line).0;
+            }
+            data[..take].copy_from_slice(&bytes[off..off + take]);
+            self.llc.invalidate_line(line);
+            let done = self.dram.write64(line, &data);
+            self.write_backpressure(done);
+            off += take;
+        }
+    }
+
+    /// Device DMA read (NIC TX): reads from the LLC when present (DDIO),
+    /// otherwise from DRAM without allocating.
+    pub fn dma_read(&mut self, addr: PhysAddr, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        let mut cur = addr.0;
+        let end = addr.0 + len as u64;
+        while cur < end {
+            let line = PhysAddr(cur).cacheline();
+            let start = (cur - line.0) as usize;
+            let take = ((end - cur) as usize).min(CACHELINE - start);
+            let data = match self.llc.dev_read_line(line) {
+                Some(d) => d,
+                None => self.dram.read64(line).0,
+            };
+            out.extend_from_slice(&data[start..start + take]);
+            cur += take as u64;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> MemSystem {
+        MemSystem::new(MemConfig {
+            llc: Some(CacheConfig::kb(16, 4)),
+            ..MemConfig::default()
+        })
+    }
+
+    #[test]
+    fn store_load_round_trip() {
+        let mut m = small();
+        let payload: Vec<u8> = (0..500u32).map(|i| (i * 3) as u8).collect();
+        m.store(PhysAddr(0x1234), &payload, 0);
+        let mut buf = vec![0u8; 500];
+        m.load(PhysAddr(0x1234), &mut buf, 0);
+        assert_eq!(buf, payload);
+    }
+
+    #[test]
+    fn dirty_data_survives_capacity_eviction() {
+        let mut m = small(); // 16 KB cache
+        // Write 64 KB: early lines must be evicted and written back.
+        for i in 0..1024u64 {
+            m.store_line(PhysAddr(i * 64), [(i % 251) as u8; 64], 0);
+        }
+        // Everything must still read back correctly (from DRAM or cache).
+        for i in 0..1024u64 {
+            assert_eq!(m.load_line(PhysAddr(i * 64), 0), [(i % 251) as u8; 64]);
+        }
+        assert!(m.dram().stats().wr_cas.value() > 0, "evictions reached DRAM");
+    }
+
+    #[test]
+    fn memcpy_copies_and_is_cache_mediated() {
+        let mut m = small();
+        let src = PhysAddr(0x10000);
+        let dst = PhysAddr(0x20000);
+        let payload: Vec<u8> = (0..256u32).map(|i| i as u8).collect();
+        m.store(src, &payload, 0);
+        m.memcpy(dst, src, 256, 0, false);
+        let mut buf = vec![0u8; 256];
+        m.load(dst, &mut buf, 0);
+        assert_eq!(buf, payload);
+    }
+
+    #[test]
+    fn memcpy_partial_tail() {
+        let mut m = small();
+        let src = PhysAddr(0x1000);
+        let dst = PhysAddr(0x2000);
+        m.store(dst, &[0xFFu8; 128], 0);
+        m.store(src, &[0x11u8; 100], 0);
+        m.memcpy(dst, src, 100, 0, true);
+        let mut buf = vec![0u8; 128];
+        m.load(dst, &mut buf, 0);
+        assert_eq!(&buf[..100], &[0x11u8; 100][..]);
+        assert_eq!(&buf[100..128], &[0xFFu8; 28][..]);
+    }
+
+    #[test]
+    fn ordered_memcpy_costs_more() {
+        let mut a = small();
+        let t0 = a.now();
+        a.memcpy(PhysAddr(0x8000), PhysAddr(0x4000), 4096, 0, false);
+        let unordered = a.now() - t0;
+
+        let mut b = small();
+        let t0 = b.now();
+        b.memcpy(PhysAddr(0x8000), PhysAddr(0x4000), 4096, 0, true);
+        let ordered = b.now() - t0;
+        assert!(ordered > unordered);
+    }
+
+    #[test]
+    fn flush_writes_dirty_lines_to_dram() {
+        let mut m = small();
+        m.store(PhysAddr(0x3000), &[9u8; 4096], 0);
+        let before = m.dram().stats().wr_cas.value();
+        let report = m.flush(PhysAddr(0x3000), 4096);
+        assert_eq!(report.lines, 64);
+        assert!(report.dirty_writebacks > 0);
+        assert_eq!(
+            m.dram().stats().wr_cas.value(),
+            before + report.dirty_writebacks
+        );
+        // Data must still be correct after the flush (now from DRAM).
+        let mut buf = vec![0u8; 4096];
+        m.load(PhysAddr(0x3000), &mut buf, 0);
+        assert_eq!(buf, vec![9u8; 4096]);
+    }
+
+    #[test]
+    fn flush_of_uncached_range_is_cheaper() {
+        // §IV-A: flushing 4 KB that is already in DRAM is ~50% faster.
+        let mut m = small();
+        m.store(PhysAddr(0x5000), &[1u8; 4096], 0);
+        let cached = m.flush(PhysAddr(0x5000), 4096);
+        // Second flush: nothing resident anymore.
+        let uncached = m.flush(PhysAddr(0x5000), 4096);
+        assert_eq!(uncached.resident, 0);
+        assert!(
+            (uncached.cycles as f64) <= 0.55 * cached.cycles as f64,
+            "uncached {} vs cached {}",
+            uncached.cycles,
+            cached.cycles
+        );
+    }
+
+    #[test]
+    fn mmio_bypasses_cache() {
+        let mut m = small();
+        let addr = PhysAddr(0xF000);
+        m.mmio_write64(addr, &[0xABu8; 64]);
+        // The write went straight to DRAM: a device (bypassing the LLC)
+        // sees it immediately.
+        let (raw, _) = m.dram_mut().read64(addr);
+        assert_eq!(raw, [0xABu8; 64]);
+        assert_eq!(m.mmio_read64(addr), [0xABu8; 64]);
+        assert!(!m.llc().contains(addr));
+    }
+
+    #[test]
+    fn dma_write_then_cpu_read() {
+        let mut m = small();
+        let payload: Vec<u8> = (0..1000u32).map(|i| (i * 7) as u8).collect();
+        m.dma_write(PhysAddr(0x6000), &payload);
+        let mut buf = vec![0u8; 1000];
+        m.load(PhysAddr(0x6000), &mut buf, 0);
+        assert_eq!(buf, payload);
+    }
+
+    #[test]
+    fn large_dma_leaks_to_dram_via_ddio() {
+        // Observation 3: DMA bursts beyond the DDIO ways leak to DRAM.
+        let mut m = small();
+        let before = m.dram().stats().wr_cas.value();
+        let payload = vec![0x77u8; 64 * 1024];
+        m.dma_write(PhysAddr(0x100000), &payload);
+        assert!(
+            m.dram().stats().wr_cas.value() > before + 500,
+            "DDIO overflow must spill writebacks to DRAM"
+        );
+        // Functional correctness preserved.
+        assert_eq!(m.dma_read(PhysAddr(0x100000), 64 * 1024), payload);
+    }
+
+    #[test]
+    fn dma_write_through_bypasses_cache() {
+        let mut m = small();
+        // A stale dirty copy in the cache must not survive the DMA.
+        m.store(PhysAddr(0x9000), &[1u8; 256], 0);
+        m.dma_write_through(PhysAddr(0x9000), &[7u8; 256]);
+        assert!(!m.llc().contains(PhysAddr(0x9000)));
+        let (raw, _) = m.dram_mut().read64(PhysAddr(0x9000));
+        assert_eq!(raw, [7u8; 64]);
+        let mut buf = [0u8; 256];
+        m.load(PhysAddr(0x9000), &mut buf, 0);
+        assert_eq!(buf, [7u8; 256]);
+    }
+
+    #[test]
+    fn dma_read_prefers_cache() {
+        let mut m = small();
+        m.store(PhysAddr(0x7000), &[5u8; 256], 0);
+        // Data is dirty in cache, absent in DRAM; TX DMA must see it.
+        assert_eq!(m.dma_read(PhysAddr(0x7000), 256), vec![5u8; 256]);
+    }
+
+    #[test]
+    fn background_traffic_evicts_foreground_lines() {
+        let mut m = small(); // 16 KB LLC
+        // Foreground working set: resident without background pressure.
+        for i in 0..64u64 {
+            m.store_line(PhysAddr(0x4000 + i * 64), [1u8; 64], 0);
+        }
+        m.llc_mut().reset_stats();
+        for i in 0..64u64 {
+            let _ = m.load_line(PhysAddr(0x4000 + i * 64), 0);
+        }
+        assert_eq!(m.llc().stats().misses, 0, "resident when solo");
+
+        // Same reuse pattern with a heavy co-runner injected.
+        m.set_background(Some(BackgroundTraffic {
+            base: PhysAddr(0x40_0000),
+            hot_lines: 16,
+            cold_lines: 4096,
+            hot_fraction: 0.2,
+            per_op: 8.0,
+            class: 1,
+            seed: 3,
+        }));
+        for round in 0..4u64 {
+            for i in 0..64u64 {
+                let _ = m.load_line(PhysAddr(0x4000 + i * 64), 0);
+                let _ = round;
+            }
+        }
+        assert!(
+            m.llc().stats().misses > 20,
+            "co-runner must evict the working set (misses {})",
+            m.llc().stats().misses
+        );
+    }
+
+    #[test]
+    fn background_traffic_does_not_advance_foreground_clock_directly() {
+        // The injected accesses perturb cache/bus state but must not be
+        // billed as foreground time by themselves: time moves only with
+        // foreground operations.
+        let mut m = small();
+        m.set_background(Some(BackgroundTraffic {
+            base: PhysAddr(0x40_0000),
+            hot_lines: 64,
+            cold_lines: 1024,
+            hot_fraction: 0.5,
+            per_op: 4.0,
+            class: 1,
+            seed: 1,
+        }));
+        let t0 = m.now();
+        let _ = m.load_line(PhysAddr(0x100), 0);
+        let with_bg = m.now() - t0;
+
+        let mut solo = small();
+        let t0 = solo.now();
+        let _ = solo.load_line(PhysAddr(0x100), 0);
+        let without_bg = solo.now() - t0;
+        // The single foreground op costs the same order either way; the
+        // background shows up as *contention* on later ops, not as a
+        // direct time charge here.
+        assert!(with_bg < without_bg * 3, "{with_bg} vs {without_bg}");
+    }
+
+    #[test]
+    fn background_traffic_can_be_removed() {
+        let mut m = small();
+        m.set_background(Some(BackgroundTraffic {
+            base: PhysAddr(0x40_0000),
+            hot_lines: 16,
+            cold_lines: 256,
+            hot_fraction: 0.5,
+            per_op: 2.0,
+            class: 1,
+            seed: 2,
+        }));
+        let _ = m.load_line(PhysAddr(0), 0);
+        m.set_background(None);
+        let before = m.llc().stats().accesses;
+        let _ = m.load_line(PhysAddr(0), 0);
+        // Exactly one access once the background is removed.
+        assert_eq!(m.llc().stats().accesses, before + 1);
+    }
+
+    #[test]
+    fn time_advances_with_activity() {
+        let mut m = small();
+        let t0 = m.now();
+        m.store(PhysAddr(0), &[1u8; 4096], 0);
+        assert!(m.now() > t0);
+    }
+}

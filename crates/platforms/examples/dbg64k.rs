@@ -1,0 +1,14 @@
+use platforms::*;
+use cache::CacheConfig;
+fn main() {
+    let cfg = WorkloadConfig {
+        message_bytes: 65536,
+        connections: 1024,
+        requests: 150,
+        ulp: UlpKind::Tls,
+        llc: Some(CacheConfig::mb(2, 16)),
+        ..WorkloadConfig::default()
+    };
+    let m = run_server(PlatformKind::SmartDimm, &cfg);
+    println!("ok rps={:.0}", m.rps);
+}

@@ -1,0 +1,43 @@
+//! `simkit` is the deterministic discrete-event simulation kernel used by the
+//! SmartDIMM reproduction.
+//!
+//! Every simulator in this workspace (the DDR4 model, the LLC model, the
+//! network model, the server harness) is built on four primitives provided
+//! here:
+//!
+//! * [`Cycle`] / [`SimClock`] — a monotonically increasing simulated time
+//!   base with nanosecond conversion helpers,
+//! * [`EventQueue`] — a priority queue of timestamped events with a
+//!   deterministic FIFO tie-break,
+//! * [`DetRng`] — a seedable, reproducible pseudo-random number generator
+//!   (SplitMix64 seeded xoshiro256++),
+//! * the [`stats`] module — counters, histograms and time series used to
+//!   produce every number reported in `EXPERIMENTS.md`.
+//!
+//! # Example
+//!
+//! ```
+//! use simkit::{EventQueue, Cycle};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.push(Cycle(30), "late");
+//! q.push(Cycle(10), "early");
+//! q.push(Cycle(10), "early-second"); // same cycle: FIFO order preserved
+//!
+//! assert_eq!(q.pop(), Some((Cycle(10), "early")));
+//! assert_eq!(q.pop(), Some((Cycle(10), "early-second")));
+//! assert_eq!(q.pop(), Some((Cycle(30), "late")));
+//! assert_eq!(q.pop(), None);
+//! ```
+
+pub mod clock;
+pub mod events;
+pub mod rng;
+pub mod stats;
+pub mod trace;
+
+pub use clock::{Cycle, Freq, SimClock};
+pub use events::EventQueue;
+pub use rng::DetRng;
+pub use stats::{Counter, Histogram, Summary, TimeSeries};
+pub use trace::{TraceRecord, TraceSink};

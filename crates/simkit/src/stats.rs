@@ -1,0 +1,461 @@
+//! Statistics collection: counters, histograms, summaries and time series.
+//!
+//! Every number in `EXPERIMENTS.md` is produced by one of these types, so
+//! they favour exactness and introspectability over speed.
+
+use serde::{Deserialize, Serialize};
+
+/// A named monotonic event counter.
+///
+/// # Example
+///
+/// ```
+/// use simkit::Counter;
+/// let mut c = Counter::new("dram.rd_cas");
+/// c.add(3);
+/// c.inc();
+/// assert_eq!(c.value(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter {
+    name: String,
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter with the given name.
+    pub fn new(name: impl Into<String>) -> Counter {
+        Counter {
+            name: name.into(),
+            value: 0,
+        }
+    }
+
+    /// Increments the counter by one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.value += 1;
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Returns the current count.
+    #[inline]
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Returns the counter's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Resets the counter to zero.
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+}
+
+/// A histogram with fixed-width linear buckets plus an overflow bucket.
+///
+/// Also maintains exact count/sum/min/max so means are not quantized.
+///
+/// # Example
+///
+/// ```
+/// use simkit::Histogram;
+/// let mut h = Histogram::new("latency", 10, 10); // 10 buckets of width 10
+/// for v in [3, 14, 97, 205] { h.record(v); }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.max(), Some(205));
+/// assert!(h.mean() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    name: String,
+    bucket_width: u64,
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: u128,
+    min: Option<u64>,
+    max: Option<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with `nbuckets` linear buckets of `bucket_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` or `nbuckets` is zero.
+    pub fn new(name: impl Into<String>, bucket_width: u64, nbuckets: usize) -> Histogram {
+        assert!(bucket_width > 0, "bucket width must be non-zero");
+        assert!(nbuckets > 0, "histogram needs at least one bucket");
+        Histogram {
+            name: name.into(),
+            bucket_width,
+            buckets: vec![0; nbuckets],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+            min: None,
+            max: None,
+        }
+    }
+
+    /// Records a sample.
+    pub fn record(&mut self, v: u64) {
+        let idx = (v / self.bucket_width) as usize;
+        if idx < self.buckets.len() {
+            self.buckets[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = Some(self.min.map_or(v, |m| m.min(v)));
+        self.max = Some(self.max.map_or(v, |m| m.max(v)));
+    }
+
+    /// Returns the histogram's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean of all recorded samples; 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample.
+    pub fn min(&self) -> Option<u64> {
+        self.min
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> Option<u64> {
+        self.max
+    }
+
+    /// Number of samples that fell beyond the last bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`, resolved to bucket upper
+    /// bounds. Returns `None` if the histogram is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some((i as u64 + 1) * self.bucket_width);
+            }
+        }
+        self.max
+    }
+
+    /// Per-bucket counts (not including overflow).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+/// A compact numeric summary of a sequence of `f64` samples.
+///
+/// Unlike [`Histogram`], `Summary` stores every sample, so quantiles are
+/// exact. Used for experiment outputs where sample counts are modest.
+///
+/// # Example
+///
+/// ```
+/// use simkit::Summary;
+/// let mut s = Summary::new();
+/// for v in [1.0, 2.0, 3.0, 4.0] { s.record(v); }
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.percentile(50.0), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Summary {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Summary {
+        Summary::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: f64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean; 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Sample standard deviation; 0.0 with fewer than two samples.
+    pub fn stddev(&self) -> f64 {
+        let n = self.samples.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var = self.samples.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (n - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Exact percentile (nearest-rank). `p` is in `[0, 100]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range or the summary is empty.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        assert!(!self.samples.is_empty(), "empty summary has no percentile");
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+        let rank = ((p / 100.0) * self.samples.len() as f64).ceil().max(1.0) as usize;
+        self.samples[rank - 1]
+    }
+
+    /// Smallest sample; `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        self.samples.iter().copied().reduce(f64::min)
+    }
+
+    /// Largest sample; `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        self.samples.iter().copied().reduce(f64::max)
+    }
+}
+
+/// A `(time, value)` series sampled during a simulation, e.g. scratchpad
+/// occupancy over time (Fig. 10).
+///
+/// # Example
+///
+/// ```
+/// use simkit::{Cycle, TimeSeries};
+/// let mut ts = TimeSeries::new("scratchpad.bytes");
+/// ts.record(Cycle(0), 0.0);
+/// ts.record(Cycle(100), 4096.0);
+/// assert_eq!(ts.len(), 2);
+/// assert_eq!(ts.last(), Some((Cycle(100), 4096.0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    name: String,
+    points: Vec<(u64, f64)>,
+}
+
+use crate::clock::Cycle;
+
+impl TimeSeries {
+    /// Creates an empty series with the given name.
+    pub fn new(name: impl Into<String>) -> TimeSeries {
+        TimeSeries {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point. Time must be nondecreasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the previous point.
+    pub fn record(&mut self, t: Cycle, v: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(t.raw() >= last, "time series must be monotonic");
+        }
+        self.points.push((t.raw(), v));
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Last recorded point.
+    pub fn last(&self) -> Option<(Cycle, f64)> {
+        self.points.last().map(|&(t, v)| (Cycle(t), v))
+    }
+
+    /// Iterates over `(time, value)` points.
+    pub fn iter(&self) -> impl Iterator<Item = (Cycle, f64)> + '_ {
+        self.points.iter().map(|&(t, v)| (Cycle(t), v))
+    }
+
+    /// Maximum value in the series; `None` if empty.
+    pub fn max_value(&self) -> Option<f64> {
+        self.points.iter().map(|&(_, v)| v).reduce(f64::max)
+    }
+
+    /// Mean of values over the *tail* fraction of points — used to measure
+    /// equilibrium values after warmup (e.g. Fig. 10's steady state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tail_fraction` is not within `(0, 1]`.
+    pub fn tail_mean(&self, tail_fraction: f64) -> f64 {
+        assert!(
+            tail_fraction > 0.0 && tail_fraction <= 1.0,
+            "tail fraction out of range"
+        );
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        let skip = ((1.0 - tail_fraction) * self.points.len() as f64) as usize;
+        let tail = &self.points[skip..];
+        tail.iter().map(|&(_, v)| v).sum::<f64>() / tail.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new("x");
+        assert_eq!(c.value(), 0);
+        c.inc();
+        c.add(9);
+        assert_eq!(c.value(), 10);
+        assert_eq!(c.name(), "x");
+        c.reset();
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        let mut h = Histogram::new("h", 10, 5);
+        h.record(0);
+        h.record(9);
+        h.record(10);
+        h.record(49);
+        h.record(50); // overflow
+        assert_eq!(h.buckets(), &[2, 1, 0, 0, 1]);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(50));
+        assert!((h.mean() - 23.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new("h", 1, 100);
+        for v in 0..100 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), Some(50));
+        assert_eq!(h.quantile(0.99), Some(99));
+        assert_eq!(h.quantile(0.0), Some(1));
+    }
+
+    #[test]
+    fn histogram_empty_quantile() {
+        let h = Histogram::new("h", 1, 4);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn histogram_zero_width_rejected() {
+        let _ = Histogram::new("h", 0, 4);
+    }
+
+    #[test]
+    fn summary_stats() {
+        let mut s = Summary::new();
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.138089935299395).abs() < 1e-9);
+        assert_eq!(s.percentile(50.0), 4.0);
+        assert_eq!(s.percentile(100.0), 9.0);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.min(), None);
+    }
+
+    #[test]
+    fn time_series_monotonic_and_tail() {
+        let mut ts = TimeSeries::new("t");
+        for i in 0..10 {
+            ts.record(Cycle(i), i as f64);
+        }
+        assert_eq!(ts.len(), 10);
+        assert_eq!(ts.max_value(), Some(9.0));
+        // Tail 50% = values 5..=9, mean 7.0.
+        assert!((ts.tail_mean(0.5) - 7.0).abs() < 1e-12);
+        assert_eq!(ts.iter().count(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotonic")]
+    fn time_series_rejects_backwards() {
+        let mut ts = TimeSeries::new("t");
+        ts.record(Cycle(5), 1.0);
+        ts.record(Cycle(4), 2.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! The Bank Table (§IV-C): one entry per bank in the SmartDIMM rank,
+//! recording the ID of the currently active row.
+//!
+//! The buffer device cannot see full addresses on CAS commands — only
+//! `(BG, BA, Col)` — so it shadows the controller's row state: RAS
+//! (activate) commands record the row, precharges clear it. The Addr
+//! Remap module then combines the table's row with the CAS coordinates
+//! to regenerate the physical address.
+
+/// Per-rank bank table.
+#[derive(Debug, Clone)]
+pub struct BankTable {
+    rows: Vec<Vec<Option<usize>>>, // [rank][bank_index] -> active row
+}
+
+impl BankTable {
+    /// Creates a table for `ranks` ranks of `banks` banks, all precharged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(ranks: usize, banks: usize) -> BankTable {
+        assert!(ranks > 0 && banks > 0, "empty bank table");
+        BankTable {
+            rows: vec![vec![None; banks]; ranks],
+        }
+    }
+
+    /// Records a RAS (activate) command.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn activate(&mut self, rank: usize, bank_index: usize, row: usize) {
+        self.rows[rank][bank_index] = Some(row);
+    }
+
+    /// Records a precharge.
+    pub fn precharge(&mut self, rank: usize, bank_index: usize) {
+        self.rows[rank][bank_index] = None;
+    }
+
+    /// The active row in `(rank, bank_index)`, if any.
+    pub fn active_row(&self, rank: usize, bank_index: usize) -> Option<usize> {
+        self.rows[rank][bank_index]
+    }
+
+    /// Number of banks currently holding an open row.
+    pub fn open_banks(&self) -> usize {
+        self.rows
+            .iter()
+            .flat_map(|r| r.iter())
+            .filter(|r| r.is_some())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_precharged() {
+        let t = BankTable::new(1, 16);
+        assert_eq!(t.active_row(0, 0), None);
+        assert_eq!(t.open_banks(), 0);
+    }
+
+    #[test]
+    fn activate_records_row() {
+        let mut t = BankTable::new(1, 16);
+        t.activate(0, 8, 10);
+        assert_eq!(t.active_row(0, 8), Some(10));
+        assert_eq!(t.open_banks(), 1);
+    }
+
+    #[test]
+    fn reactivation_replaces_row() {
+        let mut t = BankTable::new(1, 16);
+        t.activate(0, 3, 100);
+        t.activate(0, 3, 200);
+        assert_eq!(t.active_row(0, 3), Some(200));
+    }
+
+    #[test]
+    fn precharge_clears() {
+        let mut t = BankTable::new(2, 16);
+        t.activate(1, 5, 42);
+        t.precharge(1, 5);
+        assert_eq!(t.active_row(1, 5), None);
+    }
+
+    #[test]
+    fn banks_are_independent() {
+        let mut t = BankTable::new(1, 16);
+        t.activate(0, 0, 1);
+        t.activate(0, 15, 2);
+        t.precharge(0, 0);
+        assert_eq!(t.active_row(0, 0), None);
+        assert_eq!(t.active_row(0, 15), Some(2));
+    }
+}

@@ -1,0 +1,322 @@
+//! Config Memory and the MMIO register map (§IV-C).
+//!
+//! SmartDIMM is configured entirely through 64-byte MMIO accesses to a
+//! reserved physical range that the buffer device intercepts (writes are
+//! consumed, never reaching the DRAM chips):
+//!
+//! | offset | dir | contents |
+//! |--------|-----|----------|
+//! | [`STATUS_OFFSET`] | read | free scratchpad pages, pending-page count, recycle counters |
+//! | [`REGISTER_OFFSET`] | write | a [`Registration`] descriptor (one per 4 KB page pair) |
+//! | [`CONTEXT_OFFSET`] | write | a [`ContextChunk`] carrying the per-offload context (key, IV, lengths) |
+//! | [`RESULT_BASE`]`+ slot*64` | read | a [`ResultSlot`]: status, output length, authentication tag |
+//! | [`PENDING_BASE`]`+ i*64` | read | Algorithm 1's pending list: 4 × (dst page addr, valid-line bitmap) |
+//!
+//! The context for one TLS offload (key, IV, AAD, length) fits one MMIO
+//! write, matching the paper's single-64-byte-registration claim; the
+//! precomputed powers of H that the paper also stores in Config Memory
+//! are generated device-side by the GF multiplier as soon as the
+//! registration lands (see `ulp_crypto::ghash::HPowers`).
+
+/// Read-only status register offset.
+pub const STATUS_OFFSET: u64 = 0x000;
+/// Registration descriptor write offset.
+pub const REGISTER_OFFSET: u64 = 0x040;
+/// Context chunk write offset.
+pub const CONTEXT_OFFSET: u64 = 0x080;
+/// Base of the result-slot array (read-only).
+pub const RESULT_BASE: u64 = 0x10000;
+/// Base of the pending-pages list (read-only).
+pub const PENDING_BASE: u64 = 0x20000;
+/// Total size of the MMIO config space in bytes.
+pub const CONFIG_SPACE_SIZE: u64 = 0x40000;
+
+/// Offload status codes stored in result slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OffloadStatus {
+    /// DSA still consuming input.
+    InProgress,
+    /// Completed successfully.
+    Done,
+    /// Completed, but the page did not compress below its original size;
+    /// the "output" is the raw input (software sends it uncompressed).
+    Incompressible,
+    /// The DSA hit an error (e.g. a corrupt stream fed to the inflater).
+    Error,
+    /// A per-channel partial result under memory-channel interleaving
+    /// (§V-D): `out_len` is the bytes this DIMM processed and `tag` its
+    /// raw GHASH accumulator, to be XOR-combined host-side.
+    Partial,
+}
+
+impl OffloadStatus {
+    fn to_byte(self) -> u8 {
+        match self {
+            OffloadStatus::InProgress => 0,
+            OffloadStatus::Done => 1,
+            OffloadStatus::Incompressible => 2,
+            OffloadStatus::Error => 3,
+            OffloadStatus::Partial => 4,
+        }
+    }
+
+    fn from_byte(b: u8) -> OffloadStatus {
+        match b {
+            1 => OffloadStatus::Done,
+            2 => OffloadStatus::Incompressible,
+            3 => OffloadStatus::Error,
+            4 => OffloadStatus::Partial,
+            _ => OffloadStatus::InProgress,
+        }
+    }
+}
+
+/// A decoded result slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResultSlot {
+    /// Completion status.
+    pub status: OffloadStatus,
+    /// Output length in bytes (for TLS: the message length; for
+    /// compression: the compressed size).
+    pub out_len: u64,
+    /// AES-GCM authentication tag (TLS offloads only; zero otherwise).
+    pub tag: [u8; 16],
+}
+
+impl ResultSlot {
+    /// An empty in-progress slot.
+    pub fn empty() -> ResultSlot {
+        ResultSlot {
+            status: OffloadStatus::InProgress,
+            out_len: 0,
+            tag: [0u8; 16],
+        }
+    }
+
+    /// Serializes to the 64-byte MMIO view.
+    pub fn to_bytes(&self) -> [u8; 64] {
+        let mut b = [0u8; 64];
+        b[0] = self.status.to_byte();
+        b[8..16].copy_from_slice(&self.out_len.to_le_bytes());
+        b[16..32].copy_from_slice(&self.tag);
+        b
+    }
+
+    /// Parses the 64-byte MMIO view.
+    pub fn from_bytes(b: &[u8; 64]) -> ResultSlot {
+        ResultSlot {
+            status: OffloadStatus::from_byte(b[0]),
+            out_len: u64::from_le_bytes(b[8..16].try_into().expect("8 bytes")),
+            tag: b[16..32].try_into().expect("16 bytes"),
+        }
+    }
+}
+
+/// A page-pair registration descriptor (one 64-byte MMIO write).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Registration {
+    /// Software-assigned offload id (also selects the result slot).
+    pub offload_id: u64,
+    /// Page-aligned physical address of the source page.
+    pub src_page_addr: u64,
+    /// Page-aligned physical address of the destination page.
+    pub dst_page_addr: u64,
+    /// Byte offset of this page within the offload's message.
+    pub msg_offset: u64,
+}
+
+impl Registration {
+    /// Serializes to the 64-byte MMIO payload.
+    pub fn to_bytes(&self) -> [u8; 64] {
+        let mut b = [0u8; 64];
+        b[0..8].copy_from_slice(&self.offload_id.to_le_bytes());
+        b[8..16].copy_from_slice(&self.src_page_addr.to_le_bytes());
+        b[16..24].copy_from_slice(&self.dst_page_addr.to_le_bytes());
+        b[24..32].copy_from_slice(&self.msg_offset.to_le_bytes());
+        b
+    }
+
+    /// Parses the 64-byte MMIO payload.
+    pub fn from_bytes(b: &[u8; 64]) -> Registration {
+        Registration {
+            offload_id: u64::from_le_bytes(b[0..8].try_into().expect("8 bytes")),
+            src_page_addr: u64::from_le_bytes(b[8..16].try_into().expect("8 bytes")),
+            dst_page_addr: u64::from_le_bytes(b[16..24].try_into().expect("8 bytes")),
+            msg_offset: u64::from_le_bytes(b[24..32].try_into().expect("8 bytes")),
+        }
+    }
+}
+
+/// A per-offload context chunk (one 64-byte MMIO write).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContextChunk {
+    /// Offload this context belongs to.
+    pub offload_id: u64,
+    /// Opaque context payload (the DSA layer defines the encoding).
+    pub payload: [u8; 48],
+}
+
+impl ContextChunk {
+    /// Serializes to the 64-byte MMIO payload.
+    pub fn to_bytes(&self) -> [u8; 64] {
+        let mut b = [0u8; 64];
+        b[0..8].copy_from_slice(&self.offload_id.to_le_bytes());
+        b[16..64].copy_from_slice(&self.payload);
+        b
+    }
+
+    /// Parses the 64-byte MMIO payload.
+    pub fn from_bytes(b: &[u8; 64]) -> ContextChunk {
+        ContextChunk {
+            offload_id: u64::from_le_bytes(b[0..8].try_into().expect("8 bytes")),
+            payload: b[16..64].try_into().expect("48 bytes"),
+        }
+    }
+}
+
+/// One pending-list record: a destination page still holding valid
+/// Scratchpad lines, with the bitmap of those lines. Four records fit one
+/// 64-byte MMIO read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingRecord {
+    /// Page-aligned physical address of the destination page.
+    pub dst_page_addr: u64,
+    /// Bit `i` set = line `i` is valid (produced, awaiting recycle).
+    pub valid_bitmap: u64,
+}
+
+/// Packs up to four pending records into one MMIO line.
+pub fn pack_pending(records: &[PendingRecord]) -> [u8; 64] {
+    assert!(records.len() <= 4, "four records per MMIO line");
+    let mut b = [0u8; 64];
+    for (i, r) in records.iter().enumerate() {
+        b[i * 16..i * 16 + 8].copy_from_slice(&r.dst_page_addr.to_le_bytes());
+        b[i * 16 + 8..i * 16 + 16].copy_from_slice(&r.valid_bitmap.to_le_bytes());
+    }
+    b
+}
+
+/// Unpacks the records of one MMIO line (addresses of 0 terminate).
+pub fn unpack_pending(b: &[u8; 64]) -> Vec<PendingRecord> {
+    let mut out = Vec::new();
+    for i in 0..4 {
+        let addr = u64::from_le_bytes(b[i * 16..i * 16 + 8].try_into().expect("8 bytes"));
+        if addr == 0 {
+            break;
+        }
+        let bitmap = u64::from_le_bytes(b[i * 16 + 8..i * 16 + 16].try_into().expect("8 bytes"));
+        out.push(PendingRecord {
+            dst_page_addr: addr,
+            valid_bitmap: bitmap,
+        });
+    }
+    out
+}
+
+/// Decoded status register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatusReg {
+    /// Free scratchpad pages (`SmartDIMMConfig[0]` in Algorithm 2).
+    pub free_pages: u64,
+    /// Allocated (pending) scratchpad pages.
+    pub pending_pages: u64,
+    /// Total lines self-recycled so far.
+    pub self_recycled: u64,
+    /// Total premature writebacks ignored (S7 events).
+    pub ignored_writebacks: u64,
+}
+
+impl StatusReg {
+    /// Serializes to the 64-byte MMIO view.
+    pub fn to_bytes(&self) -> [u8; 64] {
+        let mut b = [0u8; 64];
+        b[0..8].copy_from_slice(&self.free_pages.to_le_bytes());
+        b[8..16].copy_from_slice(&self.pending_pages.to_le_bytes());
+        b[16..24].copy_from_slice(&self.self_recycled.to_le_bytes());
+        b[24..32].copy_from_slice(&self.ignored_writebacks.to_le_bytes());
+        b
+    }
+
+    /// Parses the 64-byte MMIO view.
+    pub fn from_bytes(b: &[u8; 64]) -> StatusReg {
+        StatusReg {
+            free_pages: u64::from_le_bytes(b[0..8].try_into().expect("8 bytes")),
+            pending_pages: u64::from_le_bytes(b[8..16].try_into().expect("8 bytes")),
+            self_recycled: u64::from_le_bytes(b[16..24].try_into().expect("8 bytes")),
+            ignored_writebacks: u64::from_le_bytes(b[24..32].try_into().expect("8 bytes")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_round_trip() {
+        let r = Registration {
+            offload_id: 77,
+            src_page_addr: 0x1000,
+            dst_page_addr: 0x5000,
+            msg_offset: 8192,
+        };
+        assert_eq!(Registration::from_bytes(&r.to_bytes()), r);
+    }
+
+    #[test]
+    fn context_round_trip() {
+        let c = ContextChunk {
+            offload_id: 3,
+            payload: [0xAB; 48],
+        };
+        assert_eq!(ContextChunk::from_bytes(&c.to_bytes()), c);
+    }
+
+    #[test]
+    fn result_round_trip() {
+        let r = ResultSlot {
+            status: OffloadStatus::Incompressible,
+            out_len: 4096,
+            tag: [5u8; 16],
+        };
+        assert_eq!(ResultSlot::from_bytes(&r.to_bytes()), r);
+        assert_eq!(ResultSlot::empty().status, OffloadStatus::InProgress);
+    }
+
+    #[test]
+    fn status_reg_round_trip() {
+        let s = StatusReg {
+            free_pages: 2048,
+            pending_pages: 3,
+            self_recycled: 999,
+            ignored_writebacks: 7,
+        };
+        assert_eq!(StatusReg::from_bytes(&s.to_bytes()), s);
+    }
+
+    #[test]
+    fn pending_pack_unpack() {
+        let records = vec![
+            PendingRecord {
+                dst_page_addr: 0x4000,
+                valid_bitmap: 0b1011,
+            },
+            PendingRecord {
+                dst_page_addr: 0x9000,
+                valid_bitmap: u64::MAX,
+            },
+        ];
+        let packed = pack_pending(&records);
+        assert_eq!(unpack_pending(&packed), records);
+        assert!(unpack_pending(&[0u8; 64]).is_empty());
+    }
+
+    #[test]
+    fn mmio_regions_do_not_overlap() {
+        assert!(REGISTER_OFFSET >= STATUS_OFFSET + 64);
+        assert!(CONTEXT_OFFSET >= REGISTER_OFFSET + 64);
+        assert!(RESULT_BASE >= CONTEXT_OFFSET + 64);
+        assert!(PENDING_BASE >= RESULT_BASE + 64 * 1024);
+        assert!(CONFIG_SPACE_SIZE >= PENDING_BASE + 64 * 512);
+    }
+}

@@ -1,0 +1,908 @@
+//! The SmartDIMM buffer device: the arbiter of Fig. 6.
+//!
+//! Installed on a simulated DIMM as its `dram::BufferDevice`, it
+//! implements the complete decision flow for every CAS command:
+//!
+//! * maintain the Bank Table from RAS/PRE commands and regenerate the
+//!   physical address of each CAS (Addr Remap);
+//! * serve the MMIO config space (status, registration, context, result
+//!   slots, pending list) — these accesses never touch the DRAM chips;
+//! * on a rdCAS inside a registered *source* range, forward the DRAM
+//!   data to the DSA (S6) and stage the results in the Scratchpad, while
+//!   returning the unmodified data to the host (CompCpy's copy still
+//!   sees the original bytes);
+//! * on a wrCAS to a *destination* line whose result is staged, replace
+//!   the write data with the Scratchpad line and invalidate it —
+//!   **Self-Recycle** (S9);
+//! * ignore premature writebacks of still-pending lines (S7);
+//! * on a rdCAS of a destination line, serve the Scratchpad copy if the
+//!   line is still staged (S10), or assert `ALERT_N`/retry if the
+//!   computation is pending (S13).
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use dram::{AddressMapper, BufferDevice, CasInfo, DramTopology, PhysAddr, RdResult, WrResult};
+use simkit::{Cycle, Histogram, TimeSeries};
+use ulp_compress::hwmodel::HwDeflateConfig;
+
+use crate::banktable::BankTable;
+use crate::configmem::{
+    pack_pending, ContextChunk, OffloadStatus, PendingRecord, Registration, ResultSlot, StatusReg,
+    CONFIG_SPACE_SIZE, CONTEXT_OFFSET, PENDING_BASE, REGISTER_OFFSET, RESULT_BASE, STATUS_OFFSET,
+};
+use crate::dsa::{DsaInstance, OffloadOp};
+use crate::scratchpad::{LineState, Scratchpad};
+use crate::xlat::{Mapping, TranslationTable};
+use crate::{LINES_PER_PAGE, PAGE};
+
+/// Hardware configuration of the buffer device (defaults = §VI).
+#[derive(Debug, Clone, Copy)]
+pub struct SmartDimmConfig {
+    /// Scratchpad pages (2048 × 4 KB = 8 MB).
+    pub scratchpad_pages: usize,
+    /// Translation-table slots (3 × 4096 = 12288).
+    pub xlat_entries: usize,
+    /// CAM stash entries (8).
+    pub cam_entries: usize,
+    /// Result slots in Config Memory.
+    pub result_slots: usize,
+    /// Base physical address of the MMIO config space (page aligned).
+    pub config_base: PhysAddr,
+    /// DRAM topology (must match the memory system's).
+    pub topology: DramTopology,
+    /// Which memory channel this device sits on (one SmartDIMM per
+    /// channel under interleaving, §V-D).
+    pub channel: usize,
+    /// Deflate DSA geometry.
+    pub hw_deflate: HwDeflateConfig,
+}
+
+impl Default for SmartDimmConfig {
+    fn default() -> Self {
+        SmartDimmConfig {
+            scratchpad_pages: 2048,
+            xlat_entries: 12288,
+            cam_entries: 8,
+            result_slots: 1024,
+            config_base: PhysAddr(0x4000_0000),
+            topology: DramTopology::default(),
+            channel: 0,
+            hw_deflate: HwDeflateConfig::default(),
+        }
+    }
+}
+
+/// Buffer-device statistics (§VII-A).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Page-pair registrations received.
+    pub registrations: u64,
+    /// Offloads that reached a terminal DSA state.
+    pub offloads_completed: u64,
+    /// Source cachelines fed to a DSA.
+    pub dsa_lines: u64,
+    /// Lines self-recycled by intercepted writebacks.
+    pub self_recycles: u64,
+    /// Premature writebacks ignored (S7).
+    pub ignored_writebacks: u64,
+    /// Reads NACKed with `ALERT_N` (S13).
+    pub alert_retries: u64,
+    /// Destination reads served from the Scratchpad (S10).
+    pub scratch_reads: u64,
+    /// Registrations dropped because the Scratchpad was full (software
+    /// should have Force-Recycled first).
+    pub alloc_failures: u64,
+    /// Translation-table insert failures (expected: zero).
+    pub xlat_failures: u64,
+    /// MMIO register writes handled.
+    pub mmio_writes: u64,
+}
+
+#[derive(Debug)]
+struct Offload {
+    op: OffloadOp,
+    msg_len: usize,
+    dsa: DsaInstance,
+    /// scratch page per destination page index of the message.
+    dst_scratch: Vec<Option<usize>>,
+    /// physical page address per destination page index.
+    dst_phys: Vec<Option<u64>>,
+    /// registered source page addresses (for cleanup).
+    src_pages: Vec<u64>,
+    /// per-source-line processed flags (dedup repeated rdCAS).
+    processed: Vec<bool>,
+    /// Compute DMA (§IV-E): the DSA is fed by source-range *writes*.
+    dma_input: bool,
+    done: bool,
+}
+
+/// The buffer device. See the module docs for the protocol.
+pub struct SmartDimmDevice {
+    cfg: SmartDimmConfig,
+    mapper: AddressMapper,
+    bank_table: BankTable,
+    xlat: TranslationTable,
+    scratchpad: Scratchpad,
+    offloads: HashMap<u64, Offload>,
+    contexts: HashMap<u64, [u8; 48]>,
+    results: Vec<[u8; 64]>,
+    /// Offload currently owning each result slot (for live partial reads).
+    slot_owner: Vec<Option<u64>>,
+    stats: DeviceStats,
+    /// Cycle at which each staged line was produced, for slack tracking.
+    produce_time: HashMap<(usize, usize), Cycle>,
+    /// rdCAS(sbuf) → wrCAS(dbuf) slack histogram (cycles, §IV-D).
+    slack: Histogram,
+}
+
+impl std::fmt::Debug for SmartDimmDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SmartDimmDevice")
+            .field("offloads", &self.offloads.len())
+            .field("free_pages", &self.scratchpad.free_pages())
+            .finish()
+    }
+}
+
+impl SmartDimmDevice {
+    /// Builds the device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config_base` is not page aligned.
+    pub fn new(cfg: SmartDimmConfig) -> SmartDimmDevice {
+        assert!(cfg.config_base.is_page_aligned(), "config base alignment");
+        let topo = cfg.topology;
+        SmartDimmDevice {
+            mapper: AddressMapper::new(topo),
+            bank_table: BankTable::new(topo.ranks, topo.banks_per_rank()),
+            xlat: TranslationTable::new(cfg.xlat_entries, cfg.cam_entries),
+            scratchpad: Scratchpad::new(cfg.scratchpad_pages),
+            offloads: HashMap::new(),
+            contexts: HashMap::new(),
+            results: vec![ResultSlot::empty().to_bytes(); cfg.result_slots],
+            slot_owner: vec![None; cfg.result_slots],
+            stats: DeviceStats::default(),
+            produce_time: HashMap::new(),
+            slack: Histogram::new("smartdimm.slack_cycles", 200, 2000),
+            cfg,
+        }
+    }
+
+    /// The hardware configuration.
+    pub fn config(&self) -> &SmartDimmConfig {
+        &self.cfg
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> DeviceStats {
+        self.stats
+    }
+
+    /// Free scratchpad pages right now.
+    pub fn free_pages(&self) -> usize {
+        self.scratchpad.free_pages()
+    }
+
+    /// Scratchpad occupancy time series (Fig. 10).
+    pub fn occupancy_series(&self) -> &TimeSeries {
+        self.scratchpad.occupancy_series()
+    }
+
+    /// Scratchpad statistics.
+    pub fn scratchpad_stats(&self) -> crate::scratchpad::ScratchpadStats {
+        self.scratchpad.stats()
+    }
+
+    /// Translation-table statistics (for the §IV-C ablation).
+    pub fn xlat_stats(&self) -> crate::xlat::XlatStats {
+        self.xlat.stats()
+    }
+
+    /// The rdCAS→wrCAS slack histogram in DDR command-clock cycles
+    /// (§IV-D reports the budget exceeds 1 µs = 1600 cycles).
+    pub fn slack_histogram(&self) -> &Histogram {
+        &self.slack
+    }
+
+    fn in_config_space(&self, addr: PhysAddr) -> bool {
+        let span = CONFIG_SPACE_SIZE * self.cfg.topology.channels as u64;
+        addr.0 >= self.cfg.config_base.0 && addr.0 < self.cfg.config_base.0 + span
+    }
+
+    /// De-interleaves a physical config-space address into this device's
+    /// logical register offset. Fine-grain channel interleaving spreads
+    /// consecutive cachelines across channels, so each DIMM's private
+    /// register window is the subset of lines that map to its channel;
+    /// the logical offset is the line's rank within that subset (§V-D).
+    fn mmio_logical_offset(&self, addr: PhysAddr) -> u64 {
+        let topo = &self.cfg.topology;
+        let ch = topo.channels as u64;
+        let g = topo.channel_interleave_lines as u64;
+        let li = (addr.0 - self.cfg.config_base.0) / 64;
+        let logical_line = (li / (ch * g)) * g + li % g;
+        logical_line * 64 + (addr.0 - self.cfg.config_base.0) % 64
+    }
+
+    fn handle_mmio_read(&mut self, addr: PhysAddr) -> [u8; 64] {
+        let off = self.mmio_logical_offset(addr);
+        match off {
+            STATUS_OFFSET => StatusReg {
+                free_pages: self.scratchpad.free_pages() as u64,
+                pending_pages: self.scratchpad.pending_pages().len() as u64,
+                self_recycled: self.stats.self_recycles,
+                ignored_writebacks: self.stats.ignored_writebacks,
+            }
+            .to_bytes(),
+            o if o >= RESULT_BASE && o < RESULT_BASE + (self.results.len() as u64) * 64 => {
+                let slot = ((o - RESULT_BASE) / 64) as usize;
+                // Live TLS offloads expose their running partial result
+                // (bytes processed + raw GHASH accumulator) so the host
+                // can combine per-channel partials under interleaving.
+                if let Some(owner) = self.slot_owner[slot] {
+                    if let Some(off) = self.offloads.get(&owner) {
+                        if !off.done {
+                            if let Some((bytes, partial)) = off.dsa.partial() {
+                                return ResultSlot {
+                                    status: OffloadStatus::Partial,
+                                    out_len: bytes as u64,
+                                    tag: partial,
+                                }
+                                .to_bytes();
+                            }
+                        }
+                    }
+                }
+                self.results[slot]
+            }
+            o if o >= PENDING_BASE && o < CONFIG_SPACE_SIZE => {
+                let index = ((o - PENDING_BASE) / 64) as usize * 4;
+                let pending = self.scratchpad.pending_pages();
+                let records: Vec<PendingRecord> = pending
+                    .iter()
+                    .skip(index)
+                    .take(4)
+                    .map(|&(sp, dst_page)| {
+                        let mut bitmap = 0u64;
+                        for line in self.scratchpad.valid_lines(sp) {
+                            bitmap |= 1 << line;
+                        }
+                        PendingRecord {
+                            dst_page_addr: dst_page << 12,
+                            valid_bitmap: bitmap,
+                        }
+                    })
+                    .collect();
+                pack_pending(&records)
+            }
+            _ => [0u8; 64],
+        }
+    }
+
+    fn handle_mmio_write(&mut self, at: Cycle, addr: PhysAddr, data: &[u8; 64]) {
+        self.stats.mmio_writes += 1;
+        let off = self.mmio_logical_offset(addr);
+        match off {
+            REGISTER_OFFSET => self.register(at, Registration::from_bytes(data)),
+            CONTEXT_OFFSET => {
+                let chunk = ContextChunk::from_bytes(data);
+                self.contexts.insert(chunk.offload_id, chunk.payload);
+            }
+            _ => {}
+        }
+    }
+
+    fn register(&mut self, at: Cycle, reg: Registration) {
+        self.stats.registrations += 1;
+        let Some(payload) = self.contexts.get(&reg.offload_id).copied() else {
+            // Context must precede registration; drop silently (counts as
+            // a software bug surfaced by the xlat_failures stat).
+            self.stats.xlat_failures += 1;
+            return;
+        };
+        let (op, msg_len, aad, absorb_metadata, dma_input) =
+            OffloadOp::decode_context_full(&payload);
+        let page_index = (reg.msg_offset as usize) / PAGE;
+        let num_pages = msg_len.div_ceil(PAGE);
+
+        // Lazily create the offload state on its first page registration.
+        if !self.offloads.contains_key(&reg.offload_id) {
+            let dsa = DsaInstance::with_metadata_policy(
+                op,
+                msg_len,
+                &aad,
+                self.cfg.hw_deflate,
+                absorb_metadata,
+            );
+            self.offloads.insert(
+                reg.offload_id,
+                Offload {
+                    op,
+                    msg_len,
+                    dsa,
+                    dst_scratch: vec![None; num_pages],
+                    dst_phys: vec![None; num_pages],
+                    src_pages: Vec::new(),
+                    processed: vec![false; msg_len.div_ceil(64)],
+                    dma_input,
+                    done: false,
+                },
+            );
+            let slot = (reg.offload_id as usize) % self.results.len();
+            self.results[slot] = ResultSlot::empty().to_bytes();
+            self.slot_owner[slot] = Some(reg.offload_id);
+        }
+
+        // A destination page may be re-registered before its previous
+        // offload fully recycled (e.g. a persistent connection reusing
+        // its record buffer while some lines had their writebacks ignored
+        // at S7). The new registration supersedes the old staging.
+        if let Some(Mapping::Dest {
+            offload: old_id,
+            msg_offset: old_off,
+            scratch_page: old_sp,
+        }) = self.xlat.peek(reg.dst_page_addr >> 12)
+        {
+            self.scratchpad.force_free(at, old_sp);
+            self.xlat.remove(reg.dst_page_addr >> 12);
+            if let Some(old) = self.offloads.get_mut(&old_id) {
+                let old_page_index = old_off / PAGE;
+                old.dst_scratch[old_page_index] = None;
+                old.dst_phys[old_page_index] = None;
+            }
+            self.maybe_drop_offload(old_id);
+        }
+
+        // Bytes of the message covered by this page.
+        let covered = (msg_len - reg.msg_offset as usize).min(PAGE);
+        let covered_lines = match op {
+            // Size-preserving: output lines mirror the input coverage.
+            OffloadOp::TlsEncrypt { .. } | OffloadOp::TlsDecrypt { .. } => covered.div_ceil(64),
+            // Compression output never exceeds its input (stored/raw
+            // fallback), so the input coverage bounds it.
+            OffloadOp::Compress => covered.div_ceil(64),
+            // Decompression can expand up to the full 4 KB page; the
+            // actual count is trimmed at completion (§V-C registers as
+            // many destination pages as source pages).
+            OffloadOp::Decompress => LINES_PER_PAGE,
+        };
+        // Under channel interleaving this DIMM stages only the covered
+        // lines whose addresses map to its channel (§V-D).
+        let mut expected_mask = 0u64;
+        for l in 0..covered_lines {
+            let line_addr = PhysAddr(reg.dst_page_addr + (l as u64) * 64);
+            if self.mapper.decode(line_addr).channel == self.cfg.channel {
+                expected_mask |= 1u64 << l;
+            }
+        }
+        if expected_mask == 0 {
+            // No cacheline of this page lands on this DIMM; nothing to do.
+            return;
+        }
+        let Some(scratch_page) = self
+            .scratchpad
+            .alloc(at, reg.dst_page_addr >> 12, expected_mask)
+        else {
+            self.stats.alloc_failures += 1;
+            return;
+        };
+
+        let src_ok = self.xlat.insert(
+            reg.src_page_addr >> 12,
+            Mapping::Source {
+                offload: reg.offload_id,
+                msg_offset: reg.msg_offset as usize,
+            },
+        );
+        let dst_ok = self.xlat.insert(
+            reg.dst_page_addr >> 12,
+            Mapping::Dest {
+                offload: reg.offload_id,
+                msg_offset: reg.msg_offset as usize,
+                scratch_page,
+            },
+        );
+        if src_ok.is_err() || dst_ok.is_err() {
+            self.stats.xlat_failures += 1;
+            return;
+        }
+        let off = self.offloads.get_mut(&reg.offload_id).expect("offload");
+        off.dst_scratch[page_index] = Some(scratch_page);
+        off.dst_phys[page_index] = Some(reg.dst_page_addr >> 12);
+        off.src_pages.push(reg.src_page_addr >> 12);
+    }
+
+    /// Routes DSA output lines into the scratchpad pages of the offload.
+    fn stage_outputs(
+        scratchpad: &mut Scratchpad,
+        produce_time: &mut HashMap<(usize, usize), Cycle>,
+        off: &Offload,
+        at: Cycle,
+        produced: &[(usize, [u8; 64])],
+    ) {
+        for &(out_line, data) in produced {
+            let page_index = out_line / LINES_PER_PAGE;
+            let line_in_page = out_line % LINES_PER_PAGE;
+            let scratch = off.dst_scratch[page_index].expect("registered dst page");
+            if scratchpad.line_state(scratch, line_in_page) == LineState::Pending {
+                scratchpad.produce(scratch, line_in_page, data);
+                produce_time.insert((scratch, line_in_page), at);
+            }
+        }
+    }
+
+    fn finalize(&mut self, at: Cycle, offload_id: u64, completion: crate::dsa::DsaCompletion) {
+        let slot = (offload_id as usize) % self.results.len();
+        self.results[slot] = ResultSlot {
+            status: completion.status,
+            out_len: completion.out_len as u64,
+            tag: completion.tag.unwrap_or([0u8; 16]),
+        }
+        .to_bytes();
+        self.stats.offloads_completed += 1;
+        let off = self.offloads.get_mut(&offload_id).expect("offload");
+        off.done = true;
+        if !off.op.size_preserving() {
+            // Trim destination pages to the actual output size.
+            let out_lines = completion.out_len.div_ceil(64);
+            for (page_index, scratch) in off.dst_scratch.clone().iter().enumerate() {
+                let Some(sp) = *scratch else { continue };
+                let start_line = page_index * LINES_PER_PAGE;
+                let lines_here = out_lines.saturating_sub(start_line).min(LINES_PER_PAGE);
+                let freed_before = self.scratchpad.free_pages();
+                self.scratchpad
+                    .set_expected(at, sp, crate::scratchpad::prefix_mask(lines_here));
+                if self.scratchpad.free_pages() > freed_before {
+                    // Page freed entirely (no output lines landed here).
+                    self.cleanup_dst_page(offload_id, page_index);
+                }
+            }
+        }
+        self.maybe_drop_offload(offload_id);
+    }
+
+    fn cleanup_dst_page(&mut self, offload_id: u64, page_index: usize) {
+        if let Some(off) = self.offloads.get_mut(&offload_id) {
+            if let Some(dst_page) = off.dst_phys[page_index].take() {
+                self.xlat.remove(dst_page);
+            }
+            off.dst_scratch[page_index] = None;
+        }
+    }
+
+    fn maybe_drop_offload(&mut self, offload_id: u64) {
+        // An offload is dead once no destination page stages output for
+        // it anymore — either it completed and fully recycled, or every
+        // page was superseded by re-registrations.
+        let drop_it = match self.offloads.get(&offload_id) {
+            Some(off) => off.dst_scratch.iter().all(|s| s.is_none()),
+            None => false,
+        };
+        if drop_it {
+            let off = self.offloads.remove(&offload_id).expect("offload");
+            let slot = (offload_id as usize) % self.results.len();
+            if !off.done {
+                // A partial TLS engine (channel interleaving) fully
+                // recycled without a device-local completion: persist its
+                // partial result for the host-side combine.
+                if let Some((bytes, partial)) = off.dsa.partial() {
+                    self.results[slot] = ResultSlot {
+                        status: OffloadStatus::Partial,
+                        out_len: bytes as u64,
+                        tag: partial,
+                    }
+                    .to_bytes();
+                }
+            }
+            if self.slot_owner[slot] == Some(offload_id) {
+                self.slot_owner[slot] = None;
+            }
+            for src in off.src_pages {
+                // A newer offload may have re-registered the same source
+                // page (persistent connections reuse buffers): remove the
+                // translation only if it still belongs to this offload.
+                if let Some(Mapping::Source { offload, .. }) = self.xlat.peek(src) {
+                    if offload == offload_id {
+                        self.xlat.remove(src);
+                    }
+                }
+            }
+            self.contexts.remove(&offload_id);
+        }
+    }
+}
+
+impl BufferDevice for SmartDimmDevice {
+    fn on_activate(&mut self, _at: Cycle, rank: usize, bank_index: usize, row: usize) {
+        self.bank_table.activate(rank, bank_index, row);
+    }
+
+    fn on_precharge(&mut self, _at: Cycle, rank: usize, bank_index: usize) {
+        self.bank_table.precharge(rank, bank_index);
+    }
+
+    fn on_rd_cas(&mut self, info: &CasInfo, dram_data: &[u8; 64]) -> RdResult {
+        // Addr Remap: regenerate the physical address from the Bank
+        // Table's active row plus the CAS coordinates (§IV-C).
+        let row = self
+            .bank_table
+            .active_row(info.loc.rank, info.bank_index)
+            .expect("CAS to a precharged bank");
+        debug_assert_eq!(row, info.loc.row, "bank table out of sync");
+        let mut loc = info.loc;
+        loc.row = row;
+        let phys = self.mapper.encode(&loc);
+        debug_assert_eq!(phys, info.phys, "addr remap mismatch");
+
+        if self.in_config_space(phys) {
+            return RdResult::Data(self.handle_mmio_read(phys));
+        }
+
+        let page = phys.page();
+        match self.xlat.lookup(page) {
+            None => RdResult::Data(*dram_data), // S4: regular DIMM
+            Some(Mapping::Source { offload, msg_offset }) => {
+                // S6: feed the DSA, stage results, pass data through.
+                let line_in_page = ((phys.0 & 0xFFF) / 64) as usize;
+                let byte_offset = msg_offset + line_in_page * 64;
+                let Some(off) = self.offloads.get_mut(&offload) else {
+                    return RdResult::Data(*dram_data);
+                };
+                if off.dma_input {
+                    // Compute DMA: the DSA is fed by writes, not reads.
+                    return RdResult::Data(*dram_data);
+                }
+                if byte_offset >= off.msg_len {
+                    return RdResult::Data(*dram_data); // tail beyond message
+                }
+                let line_index = byte_offset / 64;
+                if off.processed[line_index] {
+                    return RdResult::Data(*dram_data); // repeat read
+                }
+                off.processed[line_index] = true;
+                let valid = (off.msg_len - byte_offset).min(64);
+                let out = off.dsa.process_line(byte_offset, dram_data, valid);
+                self.stats.dsa_lines += 1;
+                Self::stage_outputs(
+                    &mut self.scratchpad,
+                    &mut self.produce_time,
+                    off,
+                    info.at,
+                    &out.produced,
+                );
+                if let Some(c) = out.completion {
+                    self.finalize(info.at, offload, c);
+                }
+                RdResult::Data(*dram_data)
+            }
+            Some(Mapping::Dest { scratch_page, .. }) => {
+                let line_in_page = ((phys.0 & 0xFFF) / 64) as usize;
+                match self.scratchpad.line_state(scratch_page, line_in_page) {
+                    LineState::Valid => {
+                        // S10: serve from the Scratchpad.
+                        self.stats.scratch_reads += 1;
+                        RdResult::Data(self.scratchpad.read(scratch_page, line_in_page))
+                    }
+                    LineState::Pending => {
+                        // S13: computation unfinished — ALERT_N retry.
+                        self.stats.alert_retries += 1;
+                        RdResult::Retry
+                    }
+                    LineState::Done => RdResult::Data(*dram_data),
+                }
+            }
+        }
+    }
+
+    fn on_wr_cas(&mut self, info: &CasInfo, host_data: &[u8; 64]) -> WrResult {
+        let row = self
+            .bank_table
+            .active_row(info.loc.rank, info.bank_index)
+            .expect("CAS to a precharged bank");
+        let mut loc = info.loc;
+        loc.row = row;
+        let phys = self.mapper.encode(&loc);
+
+        if self.in_config_space(phys) {
+            self.handle_mmio_write(info.at, phys, host_data);
+            return WrResult::Ignore;
+        }
+
+        let page = phys.page();
+        match self.xlat.lookup(page) {
+            None => WrResult::Commit(*host_data),
+            Some(Mapping::Source { offload, msg_offset }) => {
+                // Compute DMA (§IV-E): a write into a registered source
+                // range feeds the DSA as the device DMAs the data in; the
+                // data also commits to DRAM as a normal write.
+                let line_in_page = ((phys.0 & 0xFFF) / 64) as usize;
+                let byte_offset = msg_offset + line_in_page * 64;
+                if let Some(off) = self.offloads.get_mut(&offload) {
+                    if off.dma_input && byte_offset < off.msg_len {
+                        let line_index = byte_offset / 64;
+                        if !off.processed[line_index] {
+                            off.processed[line_index] = true;
+                            let valid = (off.msg_len - byte_offset).min(64);
+                            let out = off.dsa.process_line(byte_offset, host_data, valid);
+                            self.stats.dsa_lines += 1;
+                            Self::stage_outputs(
+                                &mut self.scratchpad,
+                                &mut self.produce_time,
+                                off,
+                                info.at,
+                                &out.produced,
+                            );
+                            if let Some(c) = out.completion {
+                                self.finalize(info.at, offload, c);
+                            }
+                        }
+                    }
+                }
+                WrResult::Commit(*host_data)
+            }
+            Some(Mapping::Dest {
+                offload,
+                msg_offset,
+                scratch_page,
+            }) => {
+                let line_in_page = ((phys.0 & 0xFFF) / 64) as usize;
+                match self.scratchpad.line_state(scratch_page, line_in_page) {
+                    LineState::Valid => {
+                        // S9: Self-Recycle — substitute the staged result.
+                        let (data, freed) =
+                            self.scratchpad.recycle(info.at, scratch_page, line_in_page);
+                        self.stats.self_recycles += 1;
+                        if let Some(t0) = self.produce_time.remove(&(scratch_page, line_in_page)) {
+                            self.slack.record(info.at.saturating_since(t0));
+                        }
+                        if freed {
+                            let page_index = msg_offset / PAGE;
+                            self.cleanup_dst_page(offload, page_index);
+                            self.maybe_drop_offload(offload);
+                        }
+                        WrResult::Commit(data)
+                    }
+                    LineState::Pending => {
+                        // S7: premature writeback — ignore, keep pending.
+                        self.stats.ignored_writebacks += 1;
+                        WrResult::Ignore
+                    }
+                    LineState::Done => WrResult::Commit(*host_data),
+                }
+            }
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+
+    fn mk_info(mapper: &AddressMapper, addr: PhysAddr, at: Cycle) -> CasInfo {
+        let loc = mapper.decode(addr);
+        CasInfo {
+            loc,
+            phys: addr.cacheline(),
+            bank_index: loc.bank_index(mapper.topology()),
+            at,
+            tag: 0,
+        }
+    }
+
+    fn prepare(dev: &mut SmartDimmDevice, addr: PhysAddr) -> CasInfo {
+        // Open the row at the device's bank table the way the controller
+        // would before any CAS.
+        let mapper = AddressMapper::new(dev.cfg.topology);
+        let info = mk_info(&mapper, addr, Cycle(0));
+        dev.on_activate(Cycle(0), info.loc.rank, info.bank_index, info.loc.row);
+        info
+    }
+
+    #[test]
+    fn mmio_status_read() {
+        let mut dev = SmartDimmDevice::new(SmartDimmConfig::default());
+        let addr = PhysAddr(dev.cfg.config_base.0 + STATUS_OFFSET);
+        let info = prepare(&mut dev, addr);
+        match dev.on_rd_cas(&info, &[0u8; 64]) {
+            RdResult::Data(d) => {
+                let status = StatusReg::from_bytes(&d);
+                assert_eq!(status.free_pages, 2048);
+                assert_eq!(status.pending_pages, 0);
+            }
+            RdResult::Retry => panic!("status read must not retry"),
+        }
+    }
+
+    #[test]
+    fn mmio_writes_never_reach_dram() {
+        let mut dev = SmartDimmDevice::new(SmartDimmConfig::default());
+        let addr = PhysAddr(dev.cfg.config_base.0 + CONTEXT_OFFSET);
+        let info = prepare(&mut dev, addr);
+        let chunk = ContextChunk {
+            offload_id: 1,
+            payload: OffloadOp::Compress.encode_context(64, b""),
+        };
+        assert_eq!(
+            dev.on_wr_cas(&info, &chunk.to_bytes()),
+            WrResult::Ignore
+        );
+        assert_eq!(dev.stats().mmio_writes, 1);
+    }
+
+    #[test]
+    fn unregistered_pages_pass_through() {
+        let mut dev = SmartDimmDevice::new(SmartDimmConfig::default());
+        let addr = PhysAddr(0x123000);
+        let info = prepare(&mut dev, addr);
+        assert_eq!(dev.on_rd_cas(&info, &[9u8; 64]), RdResult::Data([9u8; 64]));
+        assert_eq!(
+            dev.on_wr_cas(&info, &[7u8; 64]),
+            WrResult::Commit([7u8; 64])
+        );
+    }
+
+    /// Drives a complete single-page TLS offload at the raw CAS level.
+    #[test]
+    fn end_to_end_tls_offload_at_cas_level() {
+        let mut dev = SmartDimmDevice::new(SmartDimmConfig::default());
+        let base = dev.cfg.config_base.0;
+        let key = [1u8; 16];
+        let iv = [2u8; 12];
+        let msg: Vec<u8> = (0..4096u32).map(|i| (i * 13) as u8).collect();
+
+        // 1. Context + registration.
+        let ctx = ContextChunk {
+            offload_id: 5,
+            payload: OffloadOp::TlsEncrypt { key, iv }.encode_context(msg.len(), b""),
+        };
+        let info = prepare(&mut dev, PhysAddr(base + CONTEXT_OFFSET));
+        dev.on_wr_cas(&info, &ctx.to_bytes());
+        let reg = Registration {
+            offload_id: 5,
+            src_page_addr: 0x10000,
+            dst_page_addr: 0x20000,
+            msg_offset: 0,
+        };
+        let info = prepare(&mut dev, PhysAddr(base + REGISTER_OFFSET));
+        dev.on_wr_cas(&info, &reg.to_bytes());
+        assert_eq!(dev.free_pages(), 2047);
+
+        // 2. rdCAS every source line (the CompCpy copy loop).
+        for line in 0..64usize {
+            let addr = PhysAddr(0x10000 + (line as u64) * 64);
+            let info = prepare(&mut dev, addr);
+            let mut data = [0u8; 64];
+            data.copy_from_slice(&msg[line * 64..line * 64 + 64]);
+            // Pass-through: the host still sees the plaintext.
+            assert_eq!(dev.on_rd_cas(&info, &data), RdResult::Data(data));
+        }
+        assert_eq!(dev.stats().dsa_lines, 64);
+        assert_eq!(dev.stats().offloads_completed, 1);
+
+        // 3. Writebacks of the destination lines self-recycle.
+        let gcm = ulp_crypto::gcm::AesGcm::new_128(&key);
+        let (want, want_tag) = gcm.seal(&iv, b"", &msg);
+        for line in 0..64usize {
+            let addr = PhysAddr(0x20000 + (line as u64) * 64);
+            let info = prepare(&mut dev, addr);
+            let mut plain = [0u8; 64];
+            plain.copy_from_slice(&msg[line * 64..line * 64 + 64]);
+            match dev.on_wr_cas(&info, &plain) {
+                WrResult::Commit(data) => {
+                    assert_eq!(&data[..], &want[line * 64..line * 64 + 64], "line {line}");
+                }
+                WrResult::Ignore => panic!("line {line} should recycle"),
+            }
+        }
+        assert_eq!(dev.stats().self_recycles, 64);
+        assert_eq!(dev.free_pages(), 2048, "scratchpad page freed");
+
+        // 4. Result slot carries the tag.
+        let info = prepare(&mut dev, PhysAddr(base + RESULT_BASE + 5 * 64));
+        match dev.on_rd_cas(&info, &[0u8; 64]) {
+            RdResult::Data(d) => {
+                let r = ResultSlot::from_bytes(&d);
+                assert_eq!(r.status, OffloadStatus::Done);
+                assert_eq!(r.tag, want_tag);
+                assert_eq!(r.out_len, 4096);
+            }
+            RdResult::Retry => panic!(),
+        }
+
+        // 5. All translation entries cleaned up.
+        let info = prepare(&mut dev, PhysAddr(0x10000));
+        assert_eq!(dev.on_rd_cas(&info, &[1u8; 64]), RdResult::Data([1u8; 64]));
+        assert_eq!(dev.stats().dsa_lines, 64, "no further DSA activity");
+    }
+
+    #[test]
+    fn premature_writeback_ignored_then_read_retries() {
+        // Compression: output pending until the whole page arrives.
+        let mut dev = SmartDimmDevice::new(SmartDimmConfig::default());
+        let base = dev.cfg.config_base.0;
+        let page = ulp_compress::corpus::text(4096, 3);
+        let ctx = ContextChunk {
+            offload_id: 9,
+            payload: OffloadOp::Compress.encode_context(page.len(), b""),
+        };
+        let info = prepare(&mut dev, PhysAddr(base + CONTEXT_OFFSET));
+        dev.on_wr_cas(&info, &ctx.to_bytes());
+        let reg = Registration {
+            offload_id: 9,
+            src_page_addr: 0x30000,
+            dst_page_addr: 0x40000,
+            msg_offset: 0,
+        };
+        let info = prepare(&mut dev, PhysAddr(base + REGISTER_OFFSET));
+        dev.on_wr_cas(&info, &reg.to_bytes());
+
+        // Feed half the source page.
+        for line in 0..32usize {
+            let addr = PhysAddr(0x30000 + (line as u64) * 64);
+            let info = prepare(&mut dev, addr);
+            let mut data = [0u8; 64];
+            data.copy_from_slice(&page[line * 64..line * 64 + 64]);
+            dev.on_rd_cas(&info, &data);
+        }
+        // A writeback of dst line 0 now is premature: S7 ignores it.
+        let info = prepare(&mut dev, PhysAddr(0x40000));
+        assert_eq!(dev.on_wr_cas(&info, &[0xAA; 64]), WrResult::Ignore);
+        assert_eq!(dev.stats().ignored_writebacks, 1);
+        // A read of dst line 0 must retry (S13).
+        assert_eq!(dev.on_rd_cas(&info, &[0u8; 64]), RdResult::Retry);
+        assert_eq!(dev.stats().alert_retries, 1);
+
+        // Feed the rest; compression completes.
+        for line in 32..64usize {
+            let addr = PhysAddr(0x30000 + (line as u64) * 64);
+            let info = prepare(&mut dev, addr);
+            let mut data = [0u8; 64];
+            data.copy_from_slice(&page[line * 64..line * 64 + 64]);
+            dev.on_rd_cas(&info, &data);
+        }
+        assert_eq!(dev.stats().offloads_completed, 1);
+        // Now dst line 0 reads from the scratchpad (S10). The row must be
+        // re-activated: the source-page accesses above reused the bank.
+        let info = prepare(&mut dev, PhysAddr(0x40000));
+        match dev.on_rd_cas(&info, &[0u8; 64]) {
+            RdResult::Data(_) => {}
+            RdResult::Retry => panic!("computation finished"),
+        }
+        assert!(dev.stats().scratch_reads >= 1);
+    }
+
+    #[test]
+    fn alloc_failure_counted_when_scratchpad_full() {
+        let mut cfg = SmartDimmConfig::default();
+        cfg.scratchpad_pages = 1;
+        let mut dev = SmartDimmDevice::new(cfg);
+        let base = dev.cfg.config_base.0;
+        for id in 0..2u64 {
+            let ctx = ContextChunk {
+                offload_id: id,
+                payload: OffloadOp::TlsEncrypt {
+                    key: [0; 16],
+                    iv: [0; 12],
+                }
+                .encode_context(4096, b""),
+            };
+            let info = prepare(&mut dev, PhysAddr(base + CONTEXT_OFFSET));
+            dev.on_wr_cas(&info, &ctx.to_bytes());
+            let reg = Registration {
+                offload_id: id,
+                src_page_addr: 0x50000 + id * 0x2000,
+                dst_page_addr: 0x60000 + id * 0x2000,
+                msg_offset: 0,
+            };
+            let info = prepare(&mut dev, PhysAddr(base + REGISTER_OFFSET));
+            dev.on_wr_cas(&info, &reg.to_bytes());
+        }
+        assert_eq!(dev.stats().alloc_failures, 1);
+    }
+}

@@ -1,0 +1,162 @@
+//! The adaptive offload policy (§IV, §V-C): SmartDIMM is only worth
+//! using when the LLC is contended; otherwise on-CPU execution wins.
+//!
+//! The paper's modified OpenSSL engine "selectively offloads TLS to
+//! SmartDIMM or processes it on the CPU based on the level of LLC
+//! contention", assessed by "frequently sampling the miss rate of the
+//! LLC" against a configurable threshold. [`AdaptivePolicy`] reproduces
+//! that controller, with hysteresis so the decision does not flap around
+//! the threshold.
+
+/// Where the next ULP operation should execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Run the transform on the CPU (low contention).
+    Cpu,
+    /// Offload through CompCpy to SmartDIMM (high contention).
+    SmartDimm,
+}
+
+/// Miss-rate-driven placement controller.
+///
+/// # Example
+///
+/// ```
+/// use smartdimm::policy::{AdaptivePolicy, Placement};
+/// let mut p = AdaptivePolicy::new(0.3, 0.05);
+/// assert_eq!(p.decide(0.1), Placement::Cpu);
+/// assert_eq!(p.decide(0.5), Placement::SmartDimm);
+/// // Hysteresis: a dip just below the threshold does not flip back.
+/// assert_eq!(p.decide(0.27), Placement::SmartDimm);
+/// assert_eq!(p.decide(0.1), Placement::Cpu);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptivePolicy {
+    threshold: f64,
+    hysteresis: f64,
+    current: Placement,
+    switches: u64,
+    decisions: u64,
+    offload_decisions: u64,
+}
+
+impl AdaptivePolicy {
+    /// Creates a policy that offloads when the sampled LLC miss rate
+    /// exceeds `threshold`, returning to the CPU only when it falls below
+    /// `threshold - hysteresis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < threshold <= 1` and `0 <= hysteresis < threshold`.
+    pub fn new(threshold: f64, hysteresis: f64) -> AdaptivePolicy {
+        assert!(threshold > 0.0 && threshold <= 1.0, "threshold range");
+        assert!((0.0..threshold).contains(&hysteresis), "hysteresis range");
+        AdaptivePolicy {
+            threshold,
+            hysteresis,
+            current: Placement::Cpu,
+            switches: 0,
+            decisions: 0,
+            offload_decisions: 0,
+        }
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Decides placement for the next operation given the sampled LLC
+    /// miss rate.
+    pub fn decide(&mut self, llc_miss_rate: f64) -> Placement {
+        self.decisions += 1;
+        let next = match self.current {
+            Placement::Cpu if llc_miss_rate > self.threshold => Placement::SmartDimm,
+            Placement::SmartDimm if llc_miss_rate < self.threshold - self.hysteresis => {
+                Placement::Cpu
+            }
+            cur => cur,
+        };
+        if next != self.current {
+            self.switches += 1;
+            self.current = next;
+        }
+        if next == Placement::SmartDimm {
+            self.offload_decisions += 1;
+        }
+        next
+    }
+
+    /// The current placement without re-evaluating.
+    pub fn current(&self) -> Placement {
+        self.current
+    }
+
+    /// Number of CPU↔SmartDIMM transitions so far.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Fraction of decisions that chose SmartDIMM.
+    pub fn offload_fraction(&self) -> f64 {
+        if self.decisions == 0 {
+            0.0
+        } else {
+            self.offload_decisions as f64 / self.decisions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_on_cpu() {
+        let p = AdaptivePolicy::new(0.3, 0.05);
+        assert_eq!(p.current(), Placement::Cpu);
+    }
+
+    #[test]
+    fn crosses_threshold_upward() {
+        let mut p = AdaptivePolicy::new(0.3, 0.05);
+        assert_eq!(p.decide(0.29), Placement::Cpu);
+        assert_eq!(p.decide(0.31), Placement::SmartDimm);
+        assert_eq!(p.switches(), 1);
+    }
+
+    #[test]
+    fn hysteresis_prevents_flapping() {
+        let mut p = AdaptivePolicy::new(0.3, 0.1);
+        p.decide(0.5);
+        assert_eq!(p.current(), Placement::SmartDimm);
+        // Oscillate in the hysteresis band: stays offloaded.
+        for rate in [0.28, 0.25, 0.22, 0.21] {
+            assert_eq!(p.decide(rate), Placement::SmartDimm);
+        }
+        assert_eq!(p.decide(0.19), Placement::Cpu);
+        assert_eq!(p.switches(), 2);
+    }
+
+    #[test]
+    fn offload_fraction_tracks_decisions() {
+        let mut p = AdaptivePolicy::new(0.3, 0.0);
+        p.decide(0.1); // cpu
+        p.decide(0.5); // dimm
+        p.decide(0.5); // dimm
+        p.decide(0.1); // cpu
+        assert!((p.offload_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold range")]
+    fn bad_threshold_rejected() {
+        AdaptivePolicy::new(0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis range")]
+    fn bad_hysteresis_rejected() {
+        AdaptivePolicy::new(0.3, 0.3);
+    }
+}

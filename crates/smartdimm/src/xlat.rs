@@ -1,0 +1,386 @@
+//! The Translation Table (§IV-C): physical page number → offload state.
+//!
+//! A CAM would match page numbers in one cycle but is too power-hungry
+//! for a DIMM buffer device, so the paper uses a **3-ary cuckoo hash
+//! table** sized 3× the required entries (12 K for 2 × 2048 pages),
+//! keeping occupancy below 33 % where insertions almost never displace
+//! and effectively never fail. An **8-entry CAM stash** absorbs
+//! insertions immediately so cuckoo displacement chains run off the
+//! critical path.
+//!
+//! This module reproduces those structures and exposes displacement /
+//! failure statistics for the §IV-C ablation.
+
+/// What a translated page maps to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mapping {
+    /// A registered source page: data read from it feeds the DSA of
+    /// `offload`, covering message bytes starting at `msg_offset`.
+    Source {
+        /// Offload this page belongs to.
+        offload: u64,
+        /// Byte offset of this page within the offload's message.
+        msg_offset: usize,
+    },
+    /// A registered destination page: DSA results for it are staged in
+    /// Scratchpad page `scratch_page`.
+    Dest {
+        /// Offload this page belongs to.
+        offload: u64,
+        /// Byte offset of this page within the offload's output.
+        msg_offset: usize,
+        /// Scratchpad page index staging the results.
+        scratch_page: usize,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    page: u64,
+    mapping: Mapping,
+}
+
+/// Insertion/lookup statistics for the ablation study.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct XlatStats {
+    /// Successful insertions.
+    pub inserts: u64,
+    /// Insertions that landed in an empty slot on the first try.
+    pub first_try: u64,
+    /// Total cuckoo displacements performed.
+    pub displacements: u64,
+    /// Insertions that had to sit in the CAM stash.
+    pub stash_spills: u64,
+    /// Insertions that failed outright (table and stash full).
+    pub failures: u64,
+    /// Lookups served.
+    pub lookups: u64,
+}
+
+/// The 3-ary cuckoo translation table with CAM stash.
+///
+/// # Example
+///
+/// ```
+/// use smartdimm::xlat::{Mapping, TranslationTable};
+/// let mut t = TranslationTable::new(12288, 8);
+/// t.insert(42, Mapping::Source { offload: 1, msg_offset: 0 }).unwrap();
+/// assert!(matches!(t.lookup(42), Some(Mapping::Source { offload: 1, .. })));
+/// assert_eq!(t.lookup(43), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TranslationTable {
+    slots: Vec<Option<Entry>>,
+    stash: Vec<Entry>,
+    stash_capacity: usize,
+    stats: XlatStats,
+    max_kicks: usize,
+}
+
+/// Error returned when an insertion cannot be placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableFull;
+
+impl std::fmt::Display for TableFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "translation table and CAM stash are full")
+    }
+}
+
+impl std::error::Error for TableFull {}
+
+impl TranslationTable {
+    /// Creates a table with `capacity` cuckoo slots (paper: 12288) and a
+    /// CAM stash of `stash_capacity` entries (paper: 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < 3` (three hash ways need three slots).
+    pub fn new(capacity: usize, stash_capacity: usize) -> TranslationTable {
+        assert!(capacity >= 3, "cuckoo table needs at least 3 slots");
+        TranslationTable {
+            slots: vec![None; capacity],
+            stash: Vec::with_capacity(stash_capacity),
+            stash_capacity,
+            stats: XlatStats::default(),
+            max_kicks: 32,
+        }
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> XlatStats {
+        self.stats
+    }
+
+    /// Number of live entries (cuckoo + stash).
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count() + self.stash.len()
+    }
+
+    /// Whether the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Occupancy fraction of the cuckoo array.
+    pub fn occupancy(&self) -> f64 {
+        self.slots.iter().filter(|s| s.is_some()).count() as f64 / self.slots.len() as f64
+    }
+
+    fn hash(&self, page: u64, way: usize) -> usize {
+        // Three independent mix functions (SplitMix-style finalizers with
+        // different constants), reduced onto the slot array.
+        const C: [(u64, u64); 3] = [
+            (0xBF58_476D_1CE4_E5B9, 0x94D0_49BB_1331_11EB),
+            (0xFF51_AFD7_ED55_8CCD, 0xC4CE_B9FE_1A85_EC53),
+            (0x9E37_79B9_7F4A_7C15, 0xD6E8_FEB8_6659_FD93),
+        ];
+        let (c1, c2) = C[way];
+        let mut z = page.wrapping_add(c2.rotate_left(way as u32));
+        z = (z ^ (z >> 30)).wrapping_mul(c1);
+        z = (z ^ (z >> 27)).wrapping_mul(c2);
+        z ^= z >> 31;
+        (z % self.slots.len() as u64) as usize
+    }
+
+    /// Looks up a page (checks the CAM stash first, as hardware would in
+    /// parallel).
+    pub fn lookup(&mut self, page: u64) -> Option<Mapping> {
+        self.stats.lookups += 1;
+        if let Some(e) = self.stash.iter().find(|e| e.page == page) {
+            return Some(e.mapping);
+        }
+        for way in 0..3 {
+            let idx = self.hash(page, way);
+            if let Some(e) = &self.slots[idx] {
+                if e.page == page {
+                    return Some(e.mapping);
+                }
+            }
+        }
+        None
+    }
+
+    /// Read-only lookup (no stats side effects) for assertions/tests.
+    pub fn peek(&self, page: u64) -> Option<Mapping> {
+        if let Some(e) = self.stash.iter().find(|e| e.page == page) {
+            return Some(e.mapping);
+        }
+        for way in 0..3 {
+            let idx = self.hash(page, way);
+            if let Some(e) = &self.slots[idx] {
+                if e.page == page {
+                    return Some(e.mapping);
+                }
+            }
+        }
+        None
+    }
+
+    /// Inserts or replaces the mapping for `page`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableFull`] if the displacement budget is exhausted and
+    /// the CAM stash is full — effectively impossible below 33 %
+    /// occupancy, which the §IV-C ablation demonstrates.
+    pub fn insert(&mut self, page: u64, mapping: Mapping) -> Result<(), TableFull> {
+        // Replace an existing entry in place.
+        if let Some(e) = self.stash.iter_mut().find(|e| e.page == page) {
+            e.mapping = mapping;
+            self.stats.inserts += 1;
+            self.stats.first_try += 1;
+            return Ok(());
+        }
+        for way in 0..3 {
+            let idx = self.hash(page, way);
+            if let Some(e) = &mut self.slots[idx] {
+                if e.page == page {
+                    e.mapping = mapping;
+                    self.stats.inserts += 1;
+                    self.stats.first_try += 1;
+                    return Ok(());
+                }
+            }
+        }
+        // Try an empty way.
+        for way in 0..3 {
+            let idx = self.hash(page, way);
+            if self.slots[idx].is_none() {
+                self.slots[idx] = Some(Entry { page, mapping });
+                self.stats.inserts += 1;
+                if way == 0 {
+                    self.stats.first_try += 1;
+                }
+                return Ok(());
+            }
+        }
+        // Cuckoo displacement chain.
+        let mut cur = Entry { page, mapping };
+        let mut way = 0usize;
+        for kick in 0..self.max_kicks {
+            let idx = self.hash(cur.page, way);
+            let evicted = self.slots[idx].replace(cur).expect("occupied slot");
+            self.stats.displacements += 1;
+            cur = evicted;
+            // Find an empty way for the evicted entry.
+            let mut placed = false;
+            for w in 0..3 {
+                let i = self.hash(cur.page, w);
+                if self.slots[i].is_none() {
+                    self.slots[i] = Some(cur);
+                    placed = true;
+                    break;
+                }
+            }
+            if placed {
+                self.stats.inserts += 1;
+                return Ok(());
+            }
+            way = (way + 1 + kick) % 3;
+        }
+        // Displacement budget exhausted: stash in the CAM.
+        if self.stash.len() < self.stash_capacity {
+            self.stash.push(cur);
+            self.stats.inserts += 1;
+            self.stats.stash_spills += 1;
+            Ok(())
+        } else {
+            self.stats.failures += 1;
+            Err(TableFull)
+        }
+    }
+
+    /// Removes the mapping for `page`, returning it if present.
+    pub fn remove(&mut self, page: u64) -> Option<Mapping> {
+        if let Some(pos) = self.stash.iter().position(|e| e.page == page) {
+            return Some(self.stash.swap_remove(pos).mapping);
+        }
+        for way in 0..3 {
+            let idx = self.hash(page, way);
+            if self.slots[idx].map(|e| e.page) == Some(page) {
+                return self.slots[idx].take().map(|e| e.mapping);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn src(o: u64) -> Mapping {
+        Mapping::Source {
+            offload: o,
+            msg_offset: 0,
+        }
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut t = TranslationTable::new(64, 8);
+        t.insert(100, src(1)).unwrap();
+        assert_eq!(t.lookup(100), Some(src(1)));
+        assert_eq!(t.remove(100), Some(src(1)));
+        assert_eq!(t.lookup(100), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn replace_in_place() {
+        let mut t = TranslationTable::new(64, 8);
+        t.insert(7, src(1)).unwrap();
+        t.insert(7, src(2)).unwrap();
+        assert_eq!(t.lookup(7), Some(src(2)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn low_occupancy_insertions_rarely_displace() {
+        // Paper's configuration: 12288 slots, fill to 33% (4096 entries).
+        let mut t = TranslationTable::new(12288, 8);
+        for page in 0..4096u64 {
+            t.insert(page, src(page)).unwrap();
+        }
+        let s = t.stats();
+        assert_eq!(s.failures, 0);
+        // Below 33% occupancy, the displacement rate is tiny.
+        let disp_rate = s.displacements as f64 / s.inserts as f64;
+        assert!(disp_rate < 0.05, "displacement rate {disp_rate}");
+        assert!(t.occupancy() <= 0.34);
+        // Everything is still findable.
+        for page in 0..4096u64 {
+            assert_eq!(t.peek(page), Some(src(page)), "page {page}");
+        }
+    }
+
+    #[test]
+    fn high_occupancy_eventually_fails() {
+        let mut t = TranslationTable::new(12, 2);
+        let mut failed = false;
+        for page in 0..20u64 {
+            if t.insert(page, src(page)).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "a 12-slot table + 2-entry stash cannot hold 20 entries");
+        assert!(t.stats().failures > 0);
+    }
+
+    #[test]
+    fn stash_absorbs_collisions() {
+        let mut t = TranslationTable::new(3, 8);
+        // Only 3 slots: the 4th..11th insertions must use the stash.
+        for page in 0..10u64 {
+            t.insert(page, src(page)).unwrap();
+        }
+        assert!(t.stats().stash_spills > 0);
+        for page in 0..10u64 {
+            assert_eq!(t.peek(page), Some(src(page)));
+        }
+    }
+
+    #[test]
+    fn dest_mapping_round_trips() {
+        let mut t = TranslationTable::new(64, 8);
+        let m = Mapping::Dest {
+            offload: 9,
+            msg_offset: 4096,
+            scratch_page: 17,
+        };
+        t.insert(55, m).unwrap();
+        assert_eq!(t.lookup(55), Some(m));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_model_equivalence(
+            ops in proptest::collection::vec((0u64..128, 0u64..3), 1..400),
+        ) {
+            // Against a HashMap oracle: insert (op 0), remove (op 1),
+            // lookup (op 2).
+            use std::collections::HashMap;
+            let mut t = TranslationTable::new(1024, 8);
+            let mut oracle: HashMap<u64, Mapping> = HashMap::new();
+            for (page, op) in ops {
+                match op {
+                    0 => {
+                        let m = src(page * 3);
+                        if t.insert(page, m).is_ok() {
+                            oracle.insert(page, m);
+                        }
+                    }
+                    1 => {
+                        prop_assert_eq!(t.remove(page), oracle.remove(&page));
+                    }
+                    _ => {
+                        prop_assert_eq!(t.lookup(page), oracle.get(&page).copied());
+                    }
+                }
+            }
+        }
+    }
+}

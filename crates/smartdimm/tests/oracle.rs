@@ -1,0 +1,144 @@
+//! Randomized oracle testing: arbitrary interleaved sequences of
+//! offloads — TLS encrypt/decrypt, compress, decompress, mixed sizes,
+//! buffer reuse, tiny scratchpads — must always produce exactly what the
+//! software implementations produce.
+
+use proptest::prelude::*;
+use smartdimm::{CompCpyHost, HostConfig, OffloadOp};
+use ulp_crypto::gcm::AesGcm;
+
+#[derive(Debug, Clone)]
+enum Op {
+    TlsEncrypt { size: usize, seed: u64 },
+    TlsDecrypt { size: usize, seed: u64 },
+    Compress { size: usize, seed: u64, kind: u8 },
+    Decompress { seed: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (64usize..12_000, any::<u64>()).prop_map(|(size, seed)| Op::TlsEncrypt { size, seed }),
+        (64usize..12_000, any::<u64>()).prop_map(|(size, seed)| Op::TlsDecrypt { size, seed }),
+        (64usize..4096, any::<u64>(), 0u8..3)
+            .prop_map(|(size, seed, kind)| Op::Compress { size, seed, kind }),
+        any::<u64>().prop_map(|seed| Op::Decompress { seed }),
+    ]
+}
+
+fn content(kind: u8, size: usize, seed: u64) -> Vec<u8> {
+    match kind {
+        0 => ulp_compress::corpus::text(size, seed),
+        1 => ulp_compress::corpus::html(size, seed),
+        _ => ulp_compress::corpus::random(size, seed),
+    }
+}
+
+fn run_sequence(host: &mut CompCpyHost, ops: &[Op]) {
+    let key = [0xC3u8; 16];
+    for (i, op) in ops.iter().enumerate() {
+        let iv = {
+            let mut iv = [0u8; 12];
+            iv[..8].copy_from_slice(&(i as u64 + 1).to_le_bytes());
+            iv
+        };
+        match op {
+            Op::TlsEncrypt { size, seed } => {
+                let msg = content(0, *size, *seed);
+                let pages = size.div_ceil(4096);
+                let src = host.alloc_pages(pages);
+                let dst = host.alloc_pages(pages);
+                host.mem_mut().store(src, &msg, 0);
+                let handle = host
+                    .comp_cpy(dst, src, *size, OffloadOp::TlsEncrypt { key, iv }, false, 0)
+                    .expect("accepted");
+                let ct = host.use_buffer(&handle);
+                let (want, want_tag) = AesGcm::new_128(&key).seal(&iv, b"", &msg);
+                assert_eq!(ct, want, "op {i}: {op:?}");
+                assert_eq!(host.tag(&handle), Some(want_tag), "op {i} tag");
+            }
+            Op::TlsDecrypt { size, seed } => {
+                let msg = content(1, *size, *seed);
+                let (ct, _) = AesGcm::new_128(&key).seal(&iv, b"", &msg);
+                let pages = size.div_ceil(4096);
+                let src = host.alloc_pages(pages);
+                let dst = host.alloc_pages(pages);
+                host.mem_mut().store(src, &ct, 0);
+                let handle = host
+                    .comp_cpy(dst, src, ct.len(), OffloadOp::TlsDecrypt { key, iv }, false, 0)
+                    .expect("accepted");
+                assert_eq!(host.use_buffer(&handle), msg, "op {i}: {op:?}");
+            }
+            Op::Compress { size, seed, kind } => {
+                let page = content(*kind, *size, *seed);
+                let src = host.alloc_pages(1);
+                let dst = host.alloc_pages(1);
+                host.mem_mut().store(src, &page, 0);
+                let handle = host
+                    .comp_cpy(dst, src, page.len(), OffloadOp::Compress, true, 0)
+                    .expect("accepted");
+                let out = host.use_buffer(&handle);
+                // Either a valid deflate stream or the raw fallback.
+                if out.len() == page.len() {
+                    let roundtrip = ulp_compress::inflate::decompress(&out)
+                        .map(|d| d == page)
+                        .unwrap_or(false);
+                    assert!(roundtrip || out == page, "op {i}: {op:?}");
+                } else {
+                    assert_eq!(
+                        ulp_compress::inflate::decompress(&out).expect("deflate"),
+                        page,
+                        "op {i}: {op:?}"
+                    );
+                }
+            }
+            Op::Decompress { seed } => {
+                let page = content(1, 4096, *seed);
+                let compressed = ulp_compress::deflate::compress(&page);
+                if compressed.len() > 4096 {
+                    continue;
+                }
+                let src = host.alloc_pages(1);
+                let dst = host.alloc_pages(1);
+                host.mem_mut().store(src, &compressed, 0);
+                let handle = host
+                    .comp_cpy(dst, src, compressed.len(), OffloadOp::Decompress, true, 0)
+                    .expect("accepted");
+                assert_eq!(host.use_buffer(&handle), page, "op {i}: {op:?}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_offload_sequences_match_software(
+        ops in proptest::collection::vec(op_strategy(), 1..10),
+    ) {
+        let mut host = CompCpyHost::new(HostConfig::default());
+        run_sequence(&mut host, &ops);
+    }
+
+    #[test]
+    fn random_sequences_survive_tiny_scratchpad(
+        ops in proptest::collection::vec(op_strategy(), 1..8),
+        scratch_pages in 6usize..32,
+    ) {
+        // A starved scratchpad exercises Force-Recycle mid-sequence.
+        let mut cfg = HostConfig::default();
+        cfg.dimm.scratchpad_pages = scratch_pages;
+        let mut host = CompCpyHost::new(cfg);
+        run_sequence(&mut host, &ops);
+    }
+
+    #[test]
+    fn random_sequences_under_contended_llc(
+        ops in proptest::collection::vec(op_strategy(), 1..8),
+    ) {
+        let mut cfg = HostConfig::default();
+        cfg.mem.llc = Some(cache::CacheConfig::kb(128, 8));
+        let mut host = CompCpyHost::new(cfg);
+        run_sequence(&mut host, &ops);
+    }
+}

@@ -1,0 +1,484 @@
+//! The SmartDIMM Deflate DSA model (§V-B).
+//!
+//! A specialized adaptation of the fully pipelined FPGA compressor of
+//! Fowers et al., with the paper's design choices:
+//!
+//! * data is consumed in 64-byte cachelines, one per buffer-device clock
+//!   cycle, subdivided into *parallelization windows* (default 8 bytes)
+//!   for the match-selection logic;
+//! * the candidate store is an 8-bank Config-Memory array; when more
+//!   lookups map to one bank in a cycle than it has ports, the excess
+//!   candidates are *discarded* (best-effort matching);
+//! * the hash table covers a 4 KB history window; inserting into an
+//!   occupied slot replaces the oldest entry;
+//! * match lengths are capped at twice the parallelization window (the
+//!   width of the hardware comparator array), so enlarging the window
+//!   marginally improves the compression ratio while the comparator and
+//!   memory cost grows quadratically — exactly the trade-off §V-B
+//!   describes;
+//! * output uses fixed-Huffman encoding (no second pass over the data,
+//!   deterministic latency) with a stored-block fallback so a page never
+//!   expands past `input + 5` bytes;
+//! * compression happens at 4 KB page granularity only; larger messages
+//!   take one CompCpy call per page (§V-C).
+//!
+//! Every output page is a valid Deflate stream decodable by
+//! [`crate::inflate`].
+
+use crate::deflate::{encode_tokens, Strategy};
+use crate::lz77::{Token, MAX_MATCH, MIN_MATCH};
+
+/// Deflate-DSA configuration. Defaults mirror the paper's prototype.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HwDeflateConfig {
+    /// Parallelization window in bytes (paper: 8).
+    pub window: usize,
+    /// Number of Config-Memory banks (paper: 8).
+    pub banks: usize,
+    /// Hash-table slots per bank (paper: sized to cover a 4 KB window).
+    pub entries_per_bank: usize,
+    /// Read/write port pairs per bank and cycle (paper: 8); accesses
+    /// beyond the port count in a cycle are dropped (best-effort).
+    pub ports_per_bank: usize,
+    /// History window in bytes (paper: 4 KB).
+    pub history: usize,
+}
+
+impl Default for HwDeflateConfig {
+    fn default() -> Self {
+        HwDeflateConfig {
+            window: 8,
+            banks: 8,
+            entries_per_bank: 512,
+            ports_per_bank: 8,
+            history: 4096,
+        }
+    }
+}
+
+impl HwDeflateConfig {
+    /// Maximum match length the comparator array can confirm: twice the
+    /// parallelization window, clamped to Deflate's limits.
+    pub fn max_match(&self) -> usize {
+        (self.window * 2).clamp(MIN_MATCH, MAX_MATCH)
+    }
+
+    /// Candidate-store size in bits, the §V-B "memory requirement" that
+    /// grows with the window (wider comparators need wider candidate
+    /// reads). Used by the area/power model and the window ablation.
+    pub fn candidate_memory_bits(&self) -> usize {
+        // Each slot stores a position tag (16 bits) plus the candidate
+        // bytes the comparators need (2 * window bytes).
+        self.banks * self.entries_per_bank * (16 + 16 * self.window)
+    }
+}
+
+/// Counters exposed by the DSA model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HwStats {
+    /// Cycles spent in the match pipeline (one per 64-byte cacheline).
+    pub cycles: u64,
+    /// Candidate lookups dropped because a bank ran out of read ports.
+    pub lookups_dropped: u64,
+    /// Hash-table inserts dropped because a bank ran out of write ports.
+    pub inserts_dropped: u64,
+    /// Matches emitted.
+    pub matches_emitted: u64,
+    /// Literals emitted.
+    pub literals_emitted: u64,
+    /// Pages that fell back to a stored block.
+    pub stored_fallbacks: u64,
+}
+
+/// Result of compressing one 4 KB page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageResult {
+    /// The Deflate stream for this page.
+    pub data: Vec<u8>,
+    /// Whether the fixed-Huffman encoding lost to the stored fallback.
+    pub stored: bool,
+    /// Buffer-device cycles consumed (deterministic: one per cacheline).
+    pub cycles: u64,
+}
+
+/// The Deflate DSA: hardware-model compressor.
+///
+/// # Example
+///
+/// ```
+/// use ulp_compress::hwmodel::HwCompressor;
+/// use ulp_compress::inflate;
+///
+/// let mut dsa = HwCompressor::new(Default::default());
+/// let page = b"near-memory processing near-memory processing!!!".repeat(20);
+/// let result = dsa.compress_page(&page[..page.len().min(4096)]);
+/// assert!(result.data.len() < page.len().min(4096));
+/// assert_eq!(inflate::decompress(&result.data).unwrap(), &page[..page.len().min(4096)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HwCompressor {
+    config: HwDeflateConfig,
+    stats: HwStats,
+}
+
+const PAGE: usize = 4096;
+const CACHELINE: usize = 64;
+
+impl HwCompressor {
+    /// Creates a compressor with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any configuration field is zero.
+    pub fn new(config: HwDeflateConfig) -> HwCompressor {
+        assert!(config.window > 0, "window must be positive");
+        assert!(config.banks > 0, "banks must be positive");
+        assert!(config.entries_per_bank > 0, "entries must be positive");
+        assert!(config.ports_per_bank > 0, "ports must be positive");
+        assert!(config.history >= config.max_match(), "history too small");
+        HwCompressor {
+            config,
+            stats: HwStats::default(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &HwDeflateConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> HwStats {
+        self.stats
+    }
+
+    /// Resets the statistics counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = HwStats::default();
+    }
+
+    /// Compresses one page (at most 4 KB) into an independent Deflate
+    /// stream, exactly as one CompCpy offload does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is empty or longer than 4 KB.
+    pub fn compress_page(&mut self, page: &[u8]) -> PageResult {
+        assert!(!page.is_empty(), "empty page");
+        assert!(page.len() <= PAGE, "DSA compresses at 4KB page granularity");
+        let tokens = self.tokenize_page(page);
+        let cycles = page.len().div_ceil(CACHELINE) as u64;
+        self.stats.cycles += cycles;
+        let fixed = encode_tokens(&tokens, page, Strategy::Fixed);
+        let (data, stored) = if fixed.len() >= page.len() + 5 {
+            // Stored fallback keeps the compressed page within the
+            // registered destination pages.
+            self.stats.stored_fallbacks += 1;
+            (encode_tokens(&[], page, Strategy::Stored), true)
+        } else {
+            (fixed, false)
+        };
+        PageResult {
+            data,
+            stored,
+            cycles,
+        }
+    }
+
+    /// Compresses an arbitrary message as a sequence of independent 4 KB
+    /// page streams (the §V-C software-stack contract: each page is
+    /// written to the TCP socket separately).
+    pub fn compress_message(&mut self, data: &[u8]) -> Vec<PageResult> {
+        data.chunks(PAGE).map(|p| self.compress_page(p)).collect()
+    }
+
+    /// Best-effort banked-hash-table tokenizer for one page.
+    fn tokenize_page(&mut self, page: &[u8]) -> Vec<Token> {
+        let cfg = self.config;
+        let max_match = cfg.max_match();
+        let slots = cfg.banks * cfg.entries_per_bank;
+        // slot -> position of the most recent candidate (oldest replaced).
+        let mut table: Vec<Option<u32>> = vec![None; slots];
+        let mut tokens = Vec::new();
+
+        let hash = |data: &[u8], pos: usize| -> usize {
+            let h = (data[pos] as u32)
+                .wrapping_mul(0x1_93)
+                .wrapping_add((data[pos + 1] as u32).wrapping_mul(0x61))
+                .wrapping_add((data[pos + 2] as u32).wrapping_mul(0x1F));
+            (h as usize) % slots
+        };
+
+        let mut covered_until = 0usize; // positions below this are inside an emitted match
+        let mut pos = 0usize;
+        while pos < page.len() {
+            // One cycle: a 64-byte cacheline.
+            let line_end = (pos + CACHELINE).min(page.len());
+            // Per-cycle bank port accounting.
+            let mut reads_per_bank = vec![0usize; cfg.banks];
+            let mut writes_per_bank = vec![0usize; cfg.banks];
+
+            for p in pos..line_end {
+                if p + MIN_MATCH > page.len() {
+                    if p >= covered_until {
+                        tokens.push(Token::Literal(page[p]));
+                        self.stats.literals_emitted += 1;
+                    }
+                    continue;
+                }
+                let slot = hash(page, p);
+                let bank = slot % cfg.banks;
+
+                // Candidate lookup (only needed for uncovered positions,
+                // but the hardware looks up every lane).
+                let candidate = if reads_per_bank[bank] < cfg.ports_per_bank {
+                    reads_per_bank[bank] += 1;
+                    table[slot]
+                } else {
+                    self.stats.lookups_dropped += 1;
+                    None
+                };
+
+                // Insert this position (replacing the older entry).
+                if writes_per_bank[bank] < cfg.ports_per_bank {
+                    writes_per_bank[bank] += 1;
+                    table[slot] = Some(p as u32);
+                } else {
+                    self.stats.inserts_dropped += 1;
+                }
+
+                if p < covered_until {
+                    continue; // inside a previously selected match
+                }
+
+                let try_candidate = |cand: usize| -> Option<(usize, usize)> {
+                    let dist = p - cand;
+                    if dist == 0 || dist > cfg.history {
+                        return None;
+                    }
+                    let limit = (page.len() - p).min(max_match);
+                    let mut l = 0;
+                    while l < limit && page[cand + l] == page[p + l] {
+                        l += 1;
+                    }
+                    if l >= MIN_MATCH {
+                        Some((l, dist))
+                    } else {
+                        None
+                    }
+                };
+                // The comparator array always sees the adjacent lane, so a
+                // distance-1 candidate (run detection) is free — no Config
+                // Memory port is consumed. This is how pipelined hardware
+                // compressors handle runs.
+                let neighbor = if p >= 1 { try_candidate(p - 1) } else { None };
+                let table_match = candidate.and_then(|cand| try_candidate(cand as usize));
+                let matched = match (neighbor, table_match) {
+                    (Some(a), Some(b)) => Some(if b.0 > a.0 { b } else { a }),
+                    (a, b) => a.or(b),
+                };
+
+                match matched {
+                    Some((len, dist)) => {
+                        tokens.push(Token::Match {
+                            length: len as u16,
+                            distance: dist as u16,
+                        });
+                        self.stats.matches_emitted += 1;
+                        covered_until = p + len;
+                    }
+                    None => {
+                        tokens.push(Token::Literal(page[p]));
+                        self.stats.literals_emitted += 1;
+                    }
+                }
+            }
+            pos = line_end;
+        }
+        tokens
+    }
+}
+
+/// The decompression DSA: functionally a streaming inflater with the same
+/// deterministic cacheline-per-cycle model. Returns the decompressed page
+/// and the buffer-device cycles consumed (one per 64 output bytes).
+///
+/// # Errors
+///
+/// Propagates [`crate::DecodeError`] from the inflater.
+pub fn decompress_page(data: &[u8]) -> Result<(Vec<u8>, u64), crate::DecodeError> {
+    let out = crate::inflate::decompress(data)?;
+    let cycles = out.len().div_ceil(CACHELINE) as u64;
+    Ok((out, cycles))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inflate::decompress;
+    use crate::{corpus, deflate};
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_compressible_page() {
+        let page = b"SmartDIMM compresses pages near memory. ".repeat(50);
+        let page = &page[..4096.min(page.len())];
+        let mut dsa = HwCompressor::new(Default::default());
+        let result = dsa.compress_page(page);
+        assert!(!result.stored);
+        assert!(result.data.len() < page.len());
+        assert_eq!(decompress(&result.data).unwrap(), page);
+        assert_eq!(result.cycles, (page.len() as u64).div_ceil(64));
+    }
+
+    #[test]
+    fn incompressible_page_falls_back_to_stored() {
+        let mut rng = simkit::DetRng::new(42);
+        let mut page = vec![0u8; 4096];
+        rng.fill_bytes(&mut page);
+        let mut dsa = HwCompressor::new(Default::default());
+        let result = dsa.compress_page(&page);
+        assert!(result.stored);
+        assert!(result.data.len() <= page.len() + 5);
+        assert_eq!(decompress(&result.data).unwrap(), page);
+        assert_eq!(dsa.stats().stored_fallbacks, 1);
+    }
+
+    #[test]
+    fn message_splits_into_pages() {
+        let msg = corpus::html(10_000, 7);
+        let mut dsa = HwCompressor::new(Default::default());
+        let pages = dsa.compress_message(&msg);
+        assert_eq!(pages.len(), 3); // 4096 + 4096 + 1808
+        let mut out = Vec::new();
+        for p in &pages {
+            out.extend(decompress(&p.data).unwrap());
+        }
+        assert_eq!(out, msg);
+    }
+
+    #[test]
+    fn matches_are_capped_by_comparator_width() {
+        // A long run: software would emit 258-byte matches, the DSA is
+        // capped at 2*window.
+        let page = vec![b'x'; 1024];
+        let mut dsa = HwCompressor::new(Default::default());
+        let result = dsa.compress_page(&page);
+        assert_eq!(decompress(&result.data).unwrap(), page);
+        let max = dsa.config().max_match();
+        assert_eq!(max, 16);
+        // Ratio is worse than software's, but still strongly compressed.
+        let sw = deflate::compress(&page);
+        assert!(result.data.len() >= sw.len());
+        assert!(result.data.len() < page.len() / 4);
+    }
+
+    #[test]
+    fn wider_window_improves_ratio_on_long_runs() {
+        let page = corpus::text(4096, 3);
+        let small = {
+            let mut dsa = HwCompressor::new(HwDeflateConfig {
+                window: 4,
+                ..Default::default()
+            });
+            dsa.compress_page(&page).data.len()
+        };
+        let large = {
+            let mut dsa = HwCompressor::new(HwDeflateConfig {
+                window: 16,
+                ..Default::default()
+            });
+            dsa.compress_page(&page).data.len()
+        };
+        assert!(large <= small, "window 16 ({large}) vs window 4 ({small})");
+    }
+
+    #[test]
+    fn memory_cost_grows_with_window() {
+        let a = HwDeflateConfig {
+            window: 4,
+            ..Default::default()
+        };
+        let b = HwDeflateConfig {
+            window: 16,
+            ..Default::default()
+        };
+        assert!(b.candidate_memory_bits() > 2 * a.candidate_memory_bits());
+    }
+
+    #[test]
+    fn port_starvation_drops_candidates() {
+        // One bank and one port: most parallel lookups in each cacheline
+        // are dropped.
+        let mut dsa = HwCompressor::new(HwDeflateConfig {
+            banks: 1,
+            ports_per_bank: 1,
+            ..Default::default()
+        });
+        let page = corpus::text(4096, 5);
+        let result = dsa.compress_page(&page);
+        assert_eq!(decompress(&result.data).unwrap(), page);
+        assert!(dsa.stats().lookups_dropped > 0);
+        assert!(dsa.stats().inserts_dropped > 0);
+    }
+
+    #[test]
+    fn history_window_respected() {
+        let mut dsa = HwCompressor::new(HwDeflateConfig {
+            history: 64,
+            ..Default::default()
+        });
+        let mut page = corpus::text(600, 9);
+        page.truncate(600);
+        let result = dsa.compress_page(&page);
+        assert_eq!(decompress(&result.data).unwrap(), page);
+    }
+
+    #[test]
+    #[should_panic(expected = "4KB page granularity")]
+    fn oversized_page_rejected() {
+        HwCompressor::new(Default::default()).compress_page(&[0u8; 4097]);
+    }
+
+    #[test]
+    fn decompress_page_cycle_accounting() {
+        let page = corpus::json(2048, 1);
+        let mut dsa = HwCompressor::new(Default::default());
+        let result = dsa.compress_page(&page);
+        let (out, cycles) = decompress_page(&result.data).unwrap();
+        assert_eq!(out, page);
+        assert_eq!(cycles, (page.len() as u64).div_ceil(64));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_hw_round_trips_any_page(
+            data in proptest::collection::vec(any::<u8>(), 1..4096),
+        ) {
+            let mut dsa = HwCompressor::new(Default::default());
+            let result = dsa.compress_page(&data);
+            prop_assert_eq!(decompress(&result.data).unwrap(), data);
+        }
+
+        #[test]
+        fn prop_hw_round_trips_compressible(
+            word in proptest::collection::vec(any::<u8>(), 3..12),
+            reps in 10usize..300,
+            window in 2usize..16,
+        ) {
+            let data: Vec<u8> = word.iter().cycle().take((word.len() * reps).min(4096)).copied().collect();
+            let mut dsa = HwCompressor::new(HwDeflateConfig { window, ..Default::default() });
+            let result = dsa.compress_page(&data);
+            prop_assert_eq!(decompress(&result.data).unwrap(), data);
+        }
+
+        #[test]
+        fn prop_output_never_expands_past_stored(
+            data in proptest::collection::vec(any::<u8>(), 1..4096),
+        ) {
+            let mut dsa = HwCompressor::new(Default::default());
+            let result = dsa.compress_page(&data);
+            prop_assert!(result.data.len() <= data.len() + 5);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Deflate decoder (RFC 1951): handles stored, fixed-Huffman and
+//! dynamic-Huffman blocks.
+//!
+//! The decoder is deliberately independent of the encoder internals: it
+//! rebuilds every table from the bit stream, so encoder/decoder agreement
+//! is real evidence of format conformance (and both sides are further
+//! validated against each other by property tests).
+
+use crate::bitio::BitReader;
+use crate::huffman::{fixed_distance_lengths, fixed_literal_lengths, Decoder};
+use crate::lz77::{DIST_TABLE, LENGTH_TABLE};
+use crate::DecodeError;
+
+const CLC_ORDER: [usize; 19] = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+];
+
+/// Decompresses a complete raw Deflate stream.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncated input, malformed headers,
+/// invalid Huffman codes or out-of-window back-references.
+///
+/// # Example
+///
+/// ```
+/// use ulp_compress::{deflate, inflate};
+/// let out = deflate::compress(b"inflate me");
+/// assert_eq!(inflate::decompress(&out).unwrap(), b"inflate me");
+/// ```
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, DecodeError> {
+    let mut reader = BitReader::new(data);
+    let mut out = Vec::new();
+    loop {
+        let is_final = reader.read_bits(1)? == 1;
+        let btype = reader.read_bits(2)?;
+        match btype {
+            0b00 => inflate_stored(&mut reader, &mut out)?,
+            0b01 => {
+                let lit = Decoder::from_lengths(&fixed_literal_lengths())
+                    .ok_or(DecodeError::InvalidStream("fixed literal table"))?;
+                let dist = Decoder::from_lengths(&fixed_distance_lengths())
+                    .ok_or(DecodeError::InvalidStream("fixed distance table"))?;
+                inflate_block(&mut reader, &mut out, &lit, Some(&dist))?;
+            }
+            0b10 => {
+                let (lit, dist) = read_dynamic_tables(&mut reader)?;
+                inflate_block(&mut reader, &mut out, &lit, dist.as_ref())?;
+            }
+            _ => return Err(DecodeError::InvalidStream("reserved block type")),
+        }
+        if is_final {
+            return Ok(out);
+        }
+    }
+}
+
+fn inflate_stored(reader: &mut BitReader<'_>, out: &mut Vec<u8>) -> Result<(), DecodeError> {
+    reader.align_byte();
+    let len_bytes = reader.read_bytes(2)?;
+    let nlen_bytes = reader.read_bytes(2)?;
+    let len = u16::from_le_bytes([len_bytes[0], len_bytes[1]]);
+    let nlen = u16::from_le_bytes([nlen_bytes[0], nlen_bytes[1]]);
+    if len != !nlen {
+        return Err(DecodeError::InvalidStream("stored LEN/NLEN mismatch"));
+    }
+    let payload = reader.read_bytes(len as usize)?;
+    out.extend_from_slice(&payload);
+    Ok(())
+}
+
+fn read_dynamic_tables(
+    reader: &mut BitReader<'_>,
+) -> Result<(Decoder, Option<Decoder>), DecodeError> {
+    let hlit = reader.read_bits(5)? as usize + 257;
+    let hdist = reader.read_bits(5)? as usize + 1;
+    let hclen = reader.read_bits(4)? as usize + 4;
+    if hlit > 286 || hdist > 30 {
+        return Err(DecodeError::InvalidStream("table sizes out of range"));
+    }
+    let mut clc_lens = [0u8; 19];
+    for &sym in CLC_ORDER.iter().take(hclen) {
+        clc_lens[sym] = reader.read_bits(3)? as u8;
+    }
+    let clc = Decoder::from_lengths(&clc_lens)
+        .ok_or(DecodeError::InvalidStream("code-length code"))?;
+
+    let total = hlit + hdist;
+    let mut lengths = Vec::with_capacity(total);
+    while lengths.len() < total {
+        let sym = clc.decode(reader)?;
+        match sym {
+            0..=15 => lengths.push(sym as u8),
+            16 => {
+                let prev = *lengths
+                    .last()
+                    .ok_or(DecodeError::InvalidStream("repeat with no previous length"))?;
+                let run = reader.read_bits(2)? + 3;
+                for _ in 0..run {
+                    lengths.push(prev);
+                }
+            }
+            17 => {
+                let run = reader.read_bits(3)? + 3;
+                for _ in 0..run {
+                    lengths.push(0);
+                }
+            }
+            18 => {
+                let run = reader.read_bits(7)? + 11;
+                for _ in 0..run {
+                    lengths.push(0);
+                }
+            }
+            _ => return Err(DecodeError::InvalidStream("bad code-length symbol")),
+        }
+    }
+    if lengths.len() != total {
+        return Err(DecodeError::InvalidStream("code lengths overflow tables"));
+    }
+    let (lit_lens, dist_lens) = lengths.split_at(hlit);
+    if lit_lens[256] == 0 {
+        return Err(DecodeError::InvalidStream("no end-of-block code"));
+    }
+    let lit = Decoder::from_lengths(lit_lens)
+        .ok_or(DecodeError::InvalidStream("literal/length table"))?;
+    // A stream with no matches may transmit an empty distance code.
+    let dist = Decoder::from_lengths(dist_lens);
+    Ok((lit, dist))
+}
+
+fn inflate_block(
+    reader: &mut BitReader<'_>,
+    out: &mut Vec<u8>,
+    lit: &Decoder,
+    dist: Option<&Decoder>,
+) -> Result<(), DecodeError> {
+    loop {
+        let sym = lit.decode(reader)?;
+        match sym {
+            0..=255 => out.push(sym as u8),
+            256 => return Ok(()),
+            257..=285 => {
+                let (base, extra) = LENGTH_TABLE[(sym - 257) as usize];
+                let length = base as usize + reader.read_bits(extra as u32)? as usize;
+                let dist_decoder = dist.ok_or(DecodeError::InvalidStream(
+                    "match with no distance table",
+                ))?;
+                let dsym = dist_decoder.decode(reader)?;
+                if dsym >= 30 {
+                    return Err(DecodeError::InvalidStream("bad distance symbol"));
+                }
+                let (dbase, dextra) = DIST_TABLE[dsym as usize];
+                let distance = dbase as usize + reader.read_bits(dextra as u32)? as usize;
+                if distance == 0 || distance > out.len() {
+                    return Err(DecodeError::BadDistance);
+                }
+                for _ in 0..length {
+                    let b = out[out.len() - distance];
+                    out.push(b);
+                }
+            }
+            _ => return Err(DecodeError::InvalidStream("bad literal/length symbol")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deflate::{compress, compress_with, Strategy};
+    use crate::lz77::MatcherConfig;
+    use proptest::prelude::*;
+
+    #[test]
+    fn handcrafted_stored_block() {
+        // BFINAL=1, BTYPE=00, align, LEN=3, NLEN=!3, "abc".
+        let stream = [0x01, 0x03, 0x00, 0xFC, 0xFF, b'a', b'b', b'c'];
+        assert_eq!(decompress(&stream).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn stored_nlen_mismatch_rejected() {
+        let stream = [0x01, 0x03, 0x00, 0x00, 0x00, b'a', b'b', b'c'];
+        assert_eq!(
+            decompress(&stream),
+            Err(DecodeError::InvalidStream("stored LEN/NLEN mismatch"))
+        );
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let good = compress(b"hello hello hello hello");
+        for cut in 0..good.len() {
+            // Every strict prefix must fail (never panic, never succeed
+            // with the full output).
+            match decompress(&good[..cut]) {
+                Ok(out) => assert_ne!(out, b"hello hello hello hello"),
+                Err(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn reserved_block_type_rejected() {
+        // BFINAL=1, BTYPE=11.
+        let stream = [0b0000_0111];
+        assert_eq!(
+            decompress(&stream),
+            Err(DecodeError::InvalidStream("reserved block type"))
+        );
+    }
+
+    #[test]
+    fn empty_input_is_eof() {
+        assert_eq!(decompress(&[]), Err(DecodeError::UnexpectedEof));
+    }
+
+    #[test]
+    fn bad_distance_rejected() {
+        // Craft a fixed block: one literal then a match with distance 4
+        // (> output length 1).
+        use crate::bitio::BitWriter;
+        use crate::lz77::Token;
+        let tokens = [
+            Token::Literal(b'x'),
+            Token::Match {
+                length: 3,
+                distance: 4,
+            },
+        ];
+        let mut w = BitWriter::new();
+        crate::deflate::write_fixed_block(&mut w, &tokens, true);
+        let stream = w.finish();
+        assert_eq!(decompress(&stream), Err(DecodeError::BadDistance));
+    }
+
+    #[test]
+    fn multi_block_streams() {
+        // Two fixed blocks back to back.
+        use crate::bitio::BitWriter;
+        use crate::lz77::Token;
+        let mut w = BitWriter::new();
+        crate::deflate::write_fixed_block(&mut w, &[Token::Literal(b'a')], false);
+        crate::deflate::write_fixed_block(&mut w, &[Token::Literal(b'b')], true);
+        assert_eq!(decompress(&w.finish()).unwrap(), b"ab");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_decompress_never_panics(junk in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let _ = decompress(&junk); // must return, never panic
+        }
+
+        #[test]
+        fn prop_round_trip_all_strategies(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+            for s in [Strategy::Stored, Strategy::Fixed, Strategy::Dynamic] {
+                let out = compress_with(&data, MatcherConfig::default(), s);
+                prop_assert_eq!(&decompress(&out).unwrap(), &data);
+            }
+        }
+    }
+}

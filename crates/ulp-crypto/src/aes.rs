@@ -1,0 +1,448 @@
+//! AES block cipher (FIPS-197), from scratch.
+//!
+//! The S-box is *derived* (multiplicative inverse in GF(2^8) followed by
+//! the affine transform) rather than transcribed, which removes a whole
+//! class of table-typo bugs; the derivation itself is pinned by the
+//! FIPS-197 known-answer tests below.
+//!
+//! Only the forward cipher is needed by GCM (CTR mode), but the inverse
+//! cipher is provided for completeness and verified by round-trip tests.
+
+/// Multiplies two elements of GF(2^8) modulo the AES polynomial x^8+x^4+x^3+x+1.
+const fn gf256_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    let mut i = 0;
+    while i < 8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+        i += 1;
+    }
+    p
+}
+
+/// Multiplicative inverse in GF(2^8) via a^254 (0 maps to 0).
+const fn gf256_inv(a: u8) -> u8 {
+    // a^254 by square-and-multiply: 254 = 0b11111110.
+    let mut result = 1u8;
+    let mut base = a;
+    let mut exp = 254u8;
+    while exp > 0 {
+        if exp & 1 != 0 {
+            result = gf256_mul(result, base);
+        }
+        base = gf256_mul(base, base);
+        exp >>= 1;
+    }
+    result
+}
+
+const fn build_sbox() -> [u8; 256] {
+    let mut sbox = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        let inv = gf256_inv(i as u8);
+        // Affine transform: s = inv ^ rotl(inv,1) ^ rotl(inv,2) ^ rotl(inv,3) ^ rotl(inv,4) ^ 0x63.
+        let s = inv
+            ^ inv.rotate_left(1)
+            ^ inv.rotate_left(2)
+            ^ inv.rotate_left(3)
+            ^ inv.rotate_left(4)
+            ^ 0x63;
+        sbox[i] = s;
+        i += 1;
+    }
+    sbox
+}
+
+const fn build_inv_sbox(sbox: &[u8; 256]) -> [u8; 256] {
+    let mut inv = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        inv[sbox[i] as usize] = i as u8;
+        i += 1;
+    }
+    inv
+}
+
+/// The AES substitution box, derived at compile time.
+pub const SBOX: [u8; 256] = build_sbox();
+/// The inverse substitution box.
+pub const INV_SBOX: [u8; 256] = build_inv_sbox(&SBOX);
+
+const RCON: [u8; 11] = [
+    0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36,
+];
+
+/// AES key size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KeySize {
+    /// 128-bit key, 10 rounds.
+    Aes128,
+    /// 256-bit key, 14 rounds.
+    Aes256,
+}
+
+impl KeySize {
+    fn rounds(self) -> usize {
+        match self {
+            KeySize::Aes128 => 10,
+            KeySize::Aes256 => 14,
+        }
+    }
+    fn key_words(self) -> usize {
+        match self {
+            KeySize::Aes128 => 4,
+            KeySize::Aes256 => 8,
+        }
+    }
+}
+
+/// An expanded AES key (the "key schedule").
+///
+/// This is exactly the state SmartDIMM's TLS DSA receives through Config
+/// Memory: the CPU runs the key expansion once per connection and ships
+/// round keys to the DIMM, so the DSA never performs key expansion.
+///
+/// # Example
+///
+/// ```
+/// use ulp_crypto::aes::Aes;
+/// let aes = Aes::new_128(&[0u8; 16]);
+/// let ct = aes.encrypt_block(&[0u8; 16]);
+/// assert_eq!(aes.decrypt_block(&ct), [0u8; 16]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Aes {
+    round_keys: Vec<[u8; 16]>,
+    size: KeySize,
+}
+
+impl Aes {
+    /// Expands a 128-bit key.
+    pub fn new_128(key: &[u8; 16]) -> Aes {
+        Aes::expand(key, KeySize::Aes128)
+    }
+
+    /// Expands a 256-bit key.
+    pub fn new_256(key: &[u8; 32]) -> Aes {
+        Aes::expand(key, KeySize::Aes256)
+    }
+
+    /// Expands a key of either supported size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key.len()` does not match `size`.
+    pub fn expand(key: &[u8], size: KeySize) -> Aes {
+        let nk = size.key_words();
+        assert_eq!(key.len(), nk * 4, "key length mismatch");
+        let nr = size.rounds();
+        let total_words = 4 * (nr + 1);
+        let mut w: Vec<[u8; 4]> = Vec::with_capacity(total_words);
+        for i in 0..nk {
+            w.push([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+        }
+        for i in nk..total_words {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                temp.rotate_left(1);
+                for b in &mut temp {
+                    *b = SBOX[*b as usize];
+                }
+                temp[0] ^= RCON[i / nk];
+            } else if nk > 6 && i % nk == 4 {
+                for b in &mut temp {
+                    *b = SBOX[*b as usize];
+                }
+            }
+            let prev = w[i - nk];
+            w.push([
+                prev[0] ^ temp[0],
+                prev[1] ^ temp[1],
+                prev[2] ^ temp[2],
+                prev[3] ^ temp[3],
+            ]);
+        }
+        let round_keys = w
+            .chunks_exact(4)
+            .map(|c| {
+                let mut rk = [0u8; 16];
+                for (i, word) in c.iter().enumerate() {
+                    rk[4 * i..4 * i + 4].copy_from_slice(word);
+                }
+                rk
+            })
+            .collect();
+        Aes { round_keys, size }
+    }
+
+    /// The key size this schedule was expanded from.
+    pub fn key_size(&self) -> KeySize {
+        self.size
+    }
+
+    /// Number of rounds (10 for AES-128, 14 for AES-256).
+    pub fn rounds(&self) -> usize {
+        self.size.rounds()
+    }
+
+    /// The expanded round keys (rounds + 1 entries of 16 bytes).
+    pub fn round_keys(&self) -> &[[u8; 16]] {
+        &self.round_keys
+    }
+
+    /// Encrypts one 16-byte block.
+    pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut state = *block;
+        add_round_key(&mut state, &self.round_keys[0]);
+        let nr = self.rounds();
+        for round in 1..nr {
+            sub_bytes(&mut state);
+            shift_rows(&mut state);
+            mix_columns(&mut state);
+            add_round_key(&mut state, &self.round_keys[round]);
+        }
+        sub_bytes(&mut state);
+        shift_rows(&mut state);
+        add_round_key(&mut state, &self.round_keys[nr]);
+        state
+    }
+
+    /// Decrypts one 16-byte block.
+    pub fn decrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut state = *block;
+        let nr = self.rounds();
+        add_round_key(&mut state, &self.round_keys[nr]);
+        for round in (1..nr).rev() {
+            inv_shift_rows(&mut state);
+            inv_sub_bytes(&mut state);
+            add_round_key(&mut state, &self.round_keys[round]);
+            inv_mix_columns(&mut state);
+        }
+        inv_shift_rows(&mut state);
+        inv_sub_bytes(&mut state);
+        add_round_key(&mut state, &self.round_keys[0]);
+        state
+    }
+}
+
+// The state is stored column-major as in FIPS-197: state[r + 4c].
+// We keep it as a flat [u8; 16] where byte i of the input maps to
+// row i%4, column i/4 — i.e. the natural byte order.
+
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for i in 0..16 {
+        state[i] ^= rk[i];
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+fn inv_sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = INV_SBOX[*b as usize];
+    }
+}
+
+/// Row `r` of the state is bytes `r, r+4, r+8, r+12`; ShiftRows rotates
+/// row `r` left by `r`.
+fn shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[r + 4 * c] = s[r + 4 * ((c + r) % 4)];
+        }
+    }
+}
+
+fn inv_shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[r + 4 * ((c + r) % 4)] = s[r + 4 * c];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [
+            state[4 * c],
+            state[4 * c + 1],
+            state[4 * c + 2],
+            state[4 * c + 3],
+        ];
+        state[4 * c] = gf256_mul(col[0], 2) ^ gf256_mul(col[1], 3) ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ gf256_mul(col[1], 2) ^ gf256_mul(col[2], 3) ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ gf256_mul(col[2], 2) ^ gf256_mul(col[3], 3);
+        state[4 * c + 3] = gf256_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf256_mul(col[3], 2);
+    }
+}
+
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [
+            state[4 * c],
+            state[4 * c + 1],
+            state[4 * c + 2],
+            state[4 * c + 3],
+        ];
+        state[4 * c] = gf256_mul(col[0], 14)
+            ^ gf256_mul(col[1], 11)
+            ^ gf256_mul(col[2], 13)
+            ^ gf256_mul(col[3], 9);
+        state[4 * c + 1] = gf256_mul(col[0], 9)
+            ^ gf256_mul(col[1], 14)
+            ^ gf256_mul(col[2], 11)
+            ^ gf256_mul(col[3], 13);
+        state[4 * c + 2] = gf256_mul(col[0], 13)
+            ^ gf256_mul(col[1], 9)
+            ^ gf256_mul(col[2], 14)
+            ^ gf256_mul(col[3], 11);
+        state[4 * c + 3] = gf256_mul(col[0], 11)
+            ^ gf256_mul(col[1], 13)
+            ^ gf256_mul(col[2], 9)
+            ^ gf256_mul(col[3], 14);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn sbox_known_entries() {
+        // Spot-check the derived S-box against FIPS-197 Table 7.
+        assert_eq!(SBOX[0x00], 0x63);
+        assert_eq!(SBOX[0x01], 0x7c);
+        assert_eq!(SBOX[0x53], 0xed);
+        assert_eq!(SBOX[0xff], 0x16);
+        assert_eq!(INV_SBOX[0x63], 0x00);
+        assert_eq!(INV_SBOX[0xed], 0x53);
+    }
+
+    #[test]
+    fn sbox_is_a_permutation() {
+        let mut seen = [false; 256];
+        for &s in SBOX.iter() {
+            assert!(!seen[s as usize]);
+            seen[s as usize] = true;
+        }
+    }
+
+    #[test]
+    fn fips197_aes128_known_answer() {
+        let key: [u8; 16] = hex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
+        let pt: [u8; 16] = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let aes = Aes::new_128(&key);
+        let ct = aes.encrypt_block(&pt);
+        assert_eq!(ct.to_vec(), hex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+        assert_eq!(aes.decrypt_block(&ct), pt);
+    }
+
+    #[test]
+    fn fips197_aes256_known_answer() {
+        let key: [u8; 32] = hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+            .try_into()
+            .unwrap();
+        let pt: [u8; 16] = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let aes = Aes::new_256(&key);
+        let ct = aes.encrypt_block(&pt);
+        assert_eq!(ct.to_vec(), hex("8ea2b7ca516745bfeafc49904b496089"));
+        assert_eq!(aes.decrypt_block(&ct), pt);
+    }
+
+    #[test]
+    fn key_schedule_lengths() {
+        let a128 = Aes::new_128(&[0u8; 16]);
+        assert_eq!(a128.round_keys().len(), 11);
+        assert_eq!(a128.rounds(), 10);
+        let a256 = Aes::new_256(&[0u8; 32]);
+        assert_eq!(a256.round_keys().len(), 15);
+        assert_eq!(a256.rounds(), 14);
+        assert_eq!(a256.key_size(), KeySize::Aes256);
+    }
+
+    #[test]
+    fn key_schedule_first_round_key_is_key() {
+        let key: [u8; 16] = hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        let aes = Aes::new_128(&key);
+        assert_eq!(aes.round_keys()[0], key);
+    }
+
+    #[test]
+    fn fips197_appendix_a_key_expansion() {
+        // FIPS-197 A.1: last round key for the 2b7e... key.
+        let key: [u8; 16] = hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        let aes = Aes::new_128(&key);
+        assert_eq!(
+            aes.round_keys()[10].to_vec(),
+            hex("d014f9a8c9ee2589e13f0cc8b6630ca6")
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "key length mismatch")]
+    fn expand_rejects_wrong_length() {
+        let _ = Aes::expand(&[0u8; 15], KeySize::Aes128);
+    }
+
+    #[test]
+    fn shift_rows_round_trips() {
+        let mut s: [u8; 16] = (0..16u8).collect::<Vec<_>>().try_into().unwrap();
+        let orig = s;
+        shift_rows(&mut s);
+        assert_ne!(s, orig);
+        inv_shift_rows(&mut s);
+        assert_eq!(s, orig);
+    }
+
+    #[test]
+    fn mix_columns_round_trips() {
+        let mut s: [u8; 16] = (16..32u8).collect::<Vec<_>>().try_into().unwrap();
+        let orig = s;
+        mix_columns(&mut s);
+        inv_mix_columns(&mut s);
+        assert_eq!(s, orig);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_encrypt_decrypt_roundtrip_128(key: [u8; 16], pt: [u8; 16]) {
+            let aes = Aes::new_128(&key);
+            prop_assert_eq!(aes.decrypt_block(&aes.encrypt_block(&pt)), pt);
+        }
+
+        #[test]
+        fn prop_encrypt_decrypt_roundtrip_256(key: [u8; 32], pt: [u8; 16]) {
+            let aes = Aes::new_256(&key);
+            prop_assert_eq!(aes.decrypt_block(&aes.encrypt_block(&pt)), pt);
+        }
+
+        #[test]
+        fn prop_encryption_is_injective(key: [u8; 16], a: [u8; 16], b: [u8; 16]) {
+            prop_assume!(a != b);
+            let aes = Aes::new_128(&key);
+            prop_assert_ne!(aes.encrypt_block(&a), aes.encrypt_block(&b));
+        }
+    }
+}

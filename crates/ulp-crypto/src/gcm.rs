@@ -1,0 +1,655 @@
+//! AES-GCM authenticated encryption (NIST SP 800-38D), in two forms:
+//!
+//! * [`AesGcm`] — the textbook sequential implementation, standing in for
+//!   the CPU/OpenSSL baseline, and
+//! * [`OooGcm`] — the out-of-order, cacheline-granular engine that models
+//!   SmartDIMM's TLS DSA (§V-A): the CPU supplies the hash subkey `H` and
+//!   the encrypted IV `EIV = E_K(J0)` through Config Memory, the engine
+//!   precomputes powers of `H`, and 64-byte cachelines are then processed
+//!   in *any* order as their rdCAS commands arrive at the buffer device.
+//!
+//! Only 96-bit IVs are supported — the TLS 1.2/1.3 AEAD nonce size, and
+//! the only case where `J0` needs no GHASH (the paper's DSA relies on
+//! this).
+
+use crate::aes::Aes;
+use crate::gf128::Gf128;
+use crate::ghash::{Ghash, HPowers, OooGhash};
+use crate::CryptoError;
+
+/// GCM tag length in bytes (full 128-bit tags only).
+pub const TAG_LEN: usize = 16;
+/// GCM nonce length in bytes (96-bit IVs only).
+pub const IV_LEN: usize = 12;
+/// The cacheline granularity at which SmartDIMM's DSA processes data.
+pub const CACHELINE: usize = 64;
+
+fn j0(iv: &[u8; IV_LEN]) -> [u8; 16] {
+    let mut block = [0u8; 16];
+    block[..IV_LEN].copy_from_slice(iv);
+    block[15] = 1;
+    block
+}
+
+fn ctr_block(iv: &[u8; IV_LEN], counter: u32) -> [u8; 16] {
+    let mut block = [0u8; 16];
+    block[..IV_LEN].copy_from_slice(iv);
+    block[12..].copy_from_slice(&counter.to_be_bytes());
+    block
+}
+
+fn length_block(aad_bits: u64, ct_bits: u64) -> [u8; 16] {
+    let mut block = [0u8; 16];
+    block[..8].copy_from_slice(&aad_bits.to_be_bytes());
+    block[8..].copy_from_slice(&ct_bits.to_be_bytes());
+    block
+}
+
+/// Sequential AES-GCM, the software baseline.
+///
+/// # Example
+///
+/// ```
+/// use ulp_crypto::gcm::AesGcm;
+/// let gcm = AesGcm::new_128(&[1u8; 16]);
+/// let iv = [2u8; 12];
+/// let (ct, tag) = gcm.seal(&iv, b"header", b"payload");
+/// assert_eq!(gcm.open(&iv, b"header", &ct, &tag).unwrap(), b"payload");
+/// assert!(gcm.open(&iv, b"tampered", &ct, &tag).is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct AesGcm {
+    aes: Aes,
+    h: Gf128,
+}
+
+impl AesGcm {
+    /// Creates a GCM instance from a 128-bit key.
+    pub fn new_128(key: &[u8; 16]) -> AesGcm {
+        AesGcm::from_aes(Aes::new_128(key))
+    }
+
+    /// Creates a GCM instance from a 256-bit key.
+    pub fn new_256(key: &[u8; 32]) -> AesGcm {
+        AesGcm::from_aes(Aes::new_256(key))
+    }
+
+    /// Wraps an existing AES key schedule.
+    pub fn from_aes(aes: Aes) -> AesGcm {
+        let h = Gf128::from_bytes(&aes.encrypt_block(&[0u8; 16]));
+        AesGcm { aes, h }
+    }
+
+    /// The hash subkey `H = E_K(0^128)` — the value the CPU writes into
+    /// SmartDIMM's Config Memory at registration time.
+    pub fn hash_subkey(&self) -> Gf128 {
+        self.h
+    }
+
+    /// `EIV = E_K(J0)` for the given IV — the other value shipped to the
+    /// DSA; the final tag is `GHASH ⊕ EIV`.
+    pub fn encrypted_iv(&self, iv: &[u8; IV_LEN]) -> [u8; 16] {
+        self.aes.encrypt_block(&j0(iv))
+    }
+
+    /// Borrows the underlying AES key schedule.
+    pub fn aes(&self) -> &Aes {
+        &self.aes
+    }
+
+    /// Generates the CTR keystream for plaintext block `index` (0-based).
+    ///
+    /// Exposed so callers (the DSA model, incremental encryption) can
+    /// produce keystream for arbitrary byte ranges — the paper's
+    /// Observation 4.
+    pub fn keystream_block(&self, iv: &[u8; IV_LEN], index: u32) -> [u8; 16] {
+        // Data counters start at 2: J0 has counter 1.
+        self.aes.encrypt_block(&ctr_block(iv, index + 2))
+    }
+
+    /// XORs `data` (located at byte `offset` within the message) with the
+    /// keystream in place. Works for encryption and decryption alike.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is not 16-byte aligned (partial-block starts are
+    /// not needed anywhere in the stack and would complicate the DSA).
+    pub fn xor_keystream(&self, iv: &[u8; IV_LEN], offset: usize, data: &mut [u8]) {
+        assert!(offset % 16 == 0, "offset must be block aligned");
+        let mut block_index = (offset / 16) as u32;
+        for chunk in data.chunks_mut(16) {
+            let ks = self.keystream_block(iv, block_index);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+            block_index += 1;
+        }
+    }
+
+    /// Encrypts `plaintext` with associated data `aad`, returning the
+    /// ciphertext and authentication tag.
+    pub fn seal(&self, iv: &[u8; IV_LEN], aad: &[u8], plaintext: &[u8]) -> (Vec<u8>, [u8; TAG_LEN]) {
+        let mut ct = plaintext.to_vec();
+        self.xor_keystream(iv, 0, &mut ct);
+        let tag = self.compute_tag(iv, aad, &ct);
+        (ct, tag)
+    }
+
+    /// Decrypts and authenticates; returns the plaintext.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::TagMismatch`] if the tag does not verify;
+    /// no plaintext is released in that case.
+    pub fn open(
+        &self,
+        iv: &[u8; IV_LEN],
+        aad: &[u8],
+        ciphertext: &[u8],
+        tag: &[u8; TAG_LEN],
+    ) -> Result<Vec<u8>, CryptoError> {
+        let expect = self.compute_tag(iv, aad, ciphertext);
+        // Constant-time-ish comparison (branch-free accumulate).
+        let diff = expect
+            .iter()
+            .zip(tag.iter())
+            .fold(0u8, |acc, (a, b)| acc | (a ^ b));
+        if diff != 0 {
+            return Err(CryptoError::TagMismatch);
+        }
+        let mut pt = ciphertext.to_vec();
+        self.xor_keystream(iv, 0, &mut pt);
+        Ok(pt)
+    }
+
+    fn compute_tag(&self, iv: &[u8; IV_LEN], aad: &[u8], ct: &[u8]) -> [u8; TAG_LEN] {
+        let mut ghash = Ghash::new(self.h);
+        ghash.update_padded(aad);
+        ghash.update_padded(ct);
+        ghash.update_block(&length_block(aad.len() as u64 * 8, ct.len() as u64 * 8));
+        let mut tag = ghash.finalize();
+        let eiv = self.encrypted_iv(iv);
+        for (t, e) in tag.iter_mut().zip(eiv.iter()) {
+            *t ^= e;
+        }
+        tag
+    }
+}
+
+/// Whether the DSA is encrypting (TX path) or decrypting (RX path).
+///
+/// GHASH is always computed over the *ciphertext*, so the engine must know
+/// whether its input cachelines are plaintext or ciphertext.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Input cachelines are plaintext; output is ciphertext.
+    Encrypt,
+    /// Input cachelines are ciphertext; output is plaintext.
+    Decrypt,
+}
+
+/// Out-of-order, cacheline-granular AES-GCM — the TLS DSA model.
+///
+/// One `OooGcm` instance corresponds to one registered source-buffer page
+/// span: it is created when the CPU writes the offload context (round
+/// keys, IV, `EIV`, message length, AAD) into Config Memory, precomputes
+/// the powers of `H` (the paper's GF multiplier running "in strides of
+/// 4"), and then accepts 64-byte cachelines in arbitrary order as rdCAS
+/// commands deliver them.
+///
+/// # Example
+///
+/// ```
+/// use ulp_crypto::gcm::{AesGcm, Direction, OooGcm};
+///
+/// let key = [9u8; 16];
+/// let iv = [3u8; 12];
+/// let msg = vec![0xAB; 200];
+///
+/// // Reference: sequential seal.
+/// let gcm = AesGcm::new_128(&key);
+/// let (want_ct, want_tag) = gcm.seal(&iv, b"", &msg);
+///
+/// // DSA: process the two cachelines out of order.
+/// let mut dsa = OooGcm::new(AesGcm::new_128(&key), iv, b"", msg.len(), Direction::Encrypt);
+/// let mut got = vec![0u8; 200];
+/// for start in [192usize, 64, 0, 128] {
+///     let end = (start + 64).min(200);
+///     let out = dsa.process_cacheline(start, &msg[start..end]);
+///     got[start..end].copy_from_slice(&out);
+/// }
+/// assert!(dsa.is_complete());
+/// assert_eq!(got, want_ct);
+/// assert_eq!(dsa.tag(), want_tag);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OooGcm {
+    gcm: AesGcm,
+    iv: [u8; IV_LEN],
+    eiv: [u8; 16],
+    msg_len: usize,
+    aad_blocks: usize,
+    ghash: OooGhash,
+    powers: HPowers,
+    direction: Direction,
+    bytes_processed: usize,
+    absorbed_metadata: bool,
+}
+
+impl OooGcm {
+    /// Registers a new offload: fixes the IV, AAD and total message
+    /// length, precomputes powers of `H` and absorbs the AAD and length
+    /// blocks (both known at registration time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `msg_len` is zero.
+    pub fn new(
+        gcm: AesGcm,
+        iv: [u8; IV_LEN],
+        aad: &[u8],
+        msg_len: usize,
+        direction: Direction,
+    ) -> OooGcm {
+        OooGcm::with_metadata_policy(gcm, iv, aad, msg_len, direction, true)
+    }
+
+    /// Like [`OooGcm::new`], but with control over whether this engine
+    /// absorbs the AAD and length blocks into its GHASH accumulator.
+    ///
+    /// Under fine-grain memory-channel interleaving (§V-D), one engine
+    /// runs per SmartDIMM and each sees only its channel's cachelines;
+    /// because the out-of-order GHASH is an XOR of per-block
+    /// contributions, partial accumulators from all channels combine by
+    /// XOR — but the AAD/length metadata must then be contributed exactly
+    /// once, by the host (see [`metadata_contribution`]). Pass
+    /// `absorb_metadata = false` for every per-channel engine.
+    pub fn with_metadata_policy(
+        gcm: AesGcm,
+        iv: [u8; IV_LEN],
+        aad: &[u8],
+        msg_len: usize,
+        direction: Direction,
+        absorb_metadata: bool,
+    ) -> OooGcm {
+        assert!(msg_len > 0, "empty offloads are handled on the CPU");
+        let aad_blocks = aad.len().div_ceil(16);
+        let ct_blocks = msg_len.div_ceil(16);
+        let total = aad_blocks + ct_blocks + 1;
+        let powers = HPowers::new(gcm.hash_subkey(), total);
+        let mut ghash = OooGhash::new(total);
+        if absorb_metadata {
+            for (i, chunk) in aad.chunks(16).enumerate() {
+                let mut block = [0u8; 16];
+                block[..chunk.len()].copy_from_slice(chunk);
+                ghash.absorb(&powers, i, &block);
+            }
+            let len_block = length_block(aad.len() as u64 * 8, msg_len as u64 * 8);
+            ghash.absorb(&powers, total - 1, &len_block);
+        }
+        let eiv = gcm.encrypted_iv(&iv);
+        OooGcm {
+            gcm,
+            iv,
+            eiv,
+            msg_len,
+            aad_blocks,
+            ghash,
+            powers,
+            direction,
+            bytes_processed: 0,
+            absorbed_metadata: absorb_metadata,
+        }
+    }
+
+    /// Processes one cacheline of input located at message byte `offset`,
+    /// returning the transformed bytes.
+    ///
+    /// Cachelines may arrive in any order; each must be processed exactly
+    /// once (the buffer-device arbiter guarantees this in hardware).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is not 64-byte aligned, `input` exceeds 64
+    /// bytes, or the cacheline does not end exactly at the message end
+    /// when shorter than 64 bytes.
+    pub fn process_cacheline(&mut self, offset: usize, input: &[u8]) -> Vec<u8> {
+        assert!(offset % CACHELINE == 0, "cacheline offset must be aligned");
+        assert!(input.len() <= CACHELINE, "input exceeds a cacheline");
+        assert!(
+            offset + input.len() == self.msg_len || input.len() == CACHELINE,
+            "short cacheline allowed only at message tail"
+        );
+        let mut out = input.to_vec();
+        self.gcm.xor_keystream(&self.iv, offset, &mut out);
+        let ct: &[u8] = match self.direction {
+            Direction::Encrypt => &out,
+            Direction::Decrypt => input,
+        };
+        for (k, chunk) in ct.chunks(16).enumerate() {
+            let mut block = [0u8; 16];
+            block[..chunk.len()].copy_from_slice(chunk);
+            let ct_block_index = offset / 16 + k;
+            self.ghash
+                .absorb(&self.powers, self.aad_blocks + ct_block_index, &block);
+        }
+        self.bytes_processed += input.len();
+        out
+    }
+
+    /// Whether every cacheline of the message has been processed.
+    pub fn is_complete(&self) -> bool {
+        self.bytes_processed == self.msg_len && self.ghash.is_complete()
+    }
+
+    /// Bytes processed so far.
+    pub fn bytes_processed(&self) -> usize {
+        self.bytes_processed
+    }
+
+    /// Total message length fixed at registration.
+    pub fn msg_len(&self) -> usize {
+        self.msg_len
+    }
+
+    /// The authentication tag: `GHASH ⊕ EIV`.
+    ///
+    /// Meaningful only once [`OooGcm::is_complete`] returns true — in
+    /// hardware the tag lands in the TLS record trailer after the last
+    /// cacheline is processed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this engine was created with `absorb_metadata = false`:
+    /// its accumulator is a partial that must be combined host-side.
+    pub fn tag(&self) -> [u8; TAG_LEN] {
+        assert!(
+            self.absorbed_metadata,
+            "partial engines have no standalone tag; combine partial_ghash() host-side"
+        );
+        let mut tag = self.ghash.finalize();
+        for (t, e) in tag.iter_mut().zip(self.eiv.iter()) {
+            *t ^= e;
+        }
+        tag
+    }
+
+    /// The raw GHASH accumulator (no EIV): the per-channel partial that
+    /// the host XOR-combines under channel interleaving.
+    pub fn partial_ghash(&self) -> [u8; 16] {
+        self.ghash.finalize()
+    }
+}
+
+/// The GHASH contribution of the AAD and length blocks for a message of
+/// `msg_len` bytes — the piece the host adds exactly once when combining
+/// per-channel partial accumulators (§V-D).
+pub fn metadata_contribution(gcm: &AesGcm, aad: &[u8], msg_len: usize) -> [u8; 16] {
+    assert!(msg_len > 0);
+    let aad_blocks = aad.len().div_ceil(16);
+    let total = aad_blocks + msg_len.div_ceil(16) + 1;
+    let powers = HPowers::new(gcm.hash_subkey(), total);
+    let mut ghash = OooGhash::new(total);
+    for (i, chunk) in aad.chunks(16).enumerate() {
+        let mut block = [0u8; 16];
+        block[..chunk.len()].copy_from_slice(chunk);
+        ghash.absorb(&powers, i, &block);
+    }
+    let len_block = length_block(aad.len() as u64 * 8, msg_len as u64 * 8);
+    ghash.absorb(&powers, total - 1, &len_block);
+    ghash.finalize()
+}
+
+/// XOR-combines per-channel partial GHASH accumulators with the metadata
+/// contribution and `EIV` into the final tag.
+pub fn combine_partial_tags(
+    gcm: &AesGcm,
+    iv: &[u8; IV_LEN],
+    aad: &[u8],
+    msg_len: usize,
+    partials: &[[u8; 16]],
+) -> [u8; TAG_LEN] {
+    let mut acc = metadata_contribution(gcm, aad, msg_len);
+    for p in partials {
+        for (a, b) in acc.iter_mut().zip(p.iter()) {
+            *a ^= b;
+        }
+    }
+    let eiv = gcm.encrypted_iv(iv);
+    for (a, e) in acc.iter_mut().zip(eiv.iter()) {
+        *a ^= e;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    /// McGrew–Viega test case 1: empty plaintext, zero key.
+    #[test]
+    fn gcm_test_case_1() {
+        let gcm = AesGcm::new_128(&[0u8; 16]);
+        let iv = [0u8; 12];
+        let (ct, tag) = gcm.seal(&iv, b"", b"");
+        assert!(ct.is_empty());
+        assert_eq!(tag.to_vec(), hex("58e2fccefa7e3061367f1d57a4e7455a"));
+    }
+
+    /// McGrew–Viega test case 2: one zero block.
+    #[test]
+    fn gcm_test_case_2() {
+        let gcm = AesGcm::new_128(&[0u8; 16]);
+        let iv = [0u8; 12];
+        let (ct, tag) = gcm.seal(&iv, b"", &[0u8; 16]);
+        assert_eq!(ct, hex("0388dace60b6a392f328c2b971b2fe78"));
+        assert_eq!(tag.to_vec(), hex("ab6e47d42cec13bdf53a67b21257bddf"));
+    }
+
+    /// McGrew–Viega test case 3: 64-byte plaintext.
+    #[test]
+    fn gcm_test_case_3() {
+        let key: [u8; 16] = hex("feffe9928665731c6d6a8f9467308308").try_into().unwrap();
+        let iv: [u8; 12] = hex("cafebabefacedbaddecaf888").try_into().unwrap();
+        let pt = hex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
+        );
+        let gcm = AesGcm::new_128(&key);
+        let (ct, tag) = gcm.seal(&iv, b"", &pt);
+        assert_eq!(
+            ct,
+            hex(
+                "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+                 21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985"
+            )
+        );
+        assert_eq!(tag.to_vec(), hex("4d5c2af327cd64a62cf35abd2ba6fab4"));
+    }
+
+    /// McGrew–Viega test case 4: partial final block + AAD.
+    #[test]
+    fn gcm_test_case_4() {
+        let key: [u8; 16] = hex("feffe9928665731c6d6a8f9467308308").try_into().unwrap();
+        let iv: [u8; 12] = hex("cafebabefacedbaddecaf888").try_into().unwrap();
+        let pt = hex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+        );
+        let aad = hex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+        let gcm = AesGcm::new_128(&key);
+        let (ct, tag) = gcm.seal(&iv, &aad, &pt);
+        assert_eq!(
+            ct,
+            hex(
+                "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+                 21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091"
+            )
+        );
+        assert_eq!(tag.to_vec(), hex("5bc94fbc3221a5db94fae95ae7121a47"));
+        // Decryption round-trips and rejects tampering.
+        assert_eq!(gcm.open(&iv, &aad, &ct, &tag).unwrap(), pt);
+        let mut bad = tag;
+        bad[0] ^= 1;
+        assert_eq!(
+            gcm.open(&iv, &aad, &ct, &bad),
+            Err(CryptoError::TagMismatch)
+        );
+    }
+
+    #[test]
+    fn open_rejects_modified_ciphertext() {
+        let gcm = AesGcm::new_128(&[5u8; 16]);
+        let iv = [6u8; 12];
+        let (mut ct, tag) = gcm.seal(&iv, b"aad", b"some plaintext bytes");
+        ct[3] ^= 0x80;
+        assert_eq!(
+            gcm.open(&iv, b"aad", &ct, &tag),
+            Err(CryptoError::TagMismatch)
+        );
+    }
+
+    #[test]
+    fn keystream_block_matches_seal() {
+        // Sealing 16 zero bytes yields exactly keystream block 0.
+        let gcm = AesGcm::new_128(&[7u8; 16]);
+        let iv = [8u8; 12];
+        let (ct, _) = gcm.seal(&iv, b"", &[0u8; 16]);
+        assert_eq!(ct, gcm.keystream_block(&iv, 0).to_vec());
+    }
+
+    #[test]
+    fn incremental_range_encryption_matches_full() {
+        // Observation 4: encrypting arbitrary ranges must compose.
+        let gcm = AesGcm::new_128(&[9u8; 16]);
+        let iv = [1u8; 12];
+        let msg: Vec<u8> = (0..160u32).map(|i| (i * 7) as u8).collect();
+        let (want, _) = gcm.seal(&iv, b"", &msg);
+        let mut got = msg.clone();
+        // Encrypt in three disjoint, unordered ranges (block aligned).
+        for (start, end) in [(96usize, 160usize), (0, 32), (32, 96)] {
+            let mut chunk = got[start..end].to_vec();
+            gcm.xor_keystream(&iv, start, &mut chunk);
+            got[start..end].copy_from_slice(&chunk);
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn ooo_gcm_decrypt_direction() {
+        let key = [4u8; 16];
+        let iv = [2u8; 12];
+        let msg = vec![0x5A; 130];
+        let gcm = AesGcm::new_128(&key);
+        let (ct, tag) = gcm.seal(&iv, b"hdr", &msg);
+
+        let mut dsa = OooGcm::new(
+            AesGcm::new_128(&key),
+            iv,
+            b"hdr",
+            ct.len(),
+            Direction::Decrypt,
+        );
+        let mut pt = vec![0u8; ct.len()];
+        for start in [64usize, 0, 128] {
+            let end = (start + 64).min(ct.len());
+            let out = dsa.process_cacheline(start, &ct[start..end]);
+            pt[start..end].copy_from_slice(&out);
+        }
+        assert!(dsa.is_complete());
+        assert_eq!(pt, msg);
+        assert_eq!(dsa.tag(), tag);
+    }
+
+    #[test]
+    fn ooo_gcm_progress_tracking() {
+        let dsa = OooGcm::new(
+            AesGcm::new_128(&[0u8; 16]),
+            [0u8; 12],
+            b"",
+            128,
+            Direction::Encrypt,
+        );
+        assert_eq!(dsa.msg_len(), 128);
+        assert_eq!(dsa.bytes_processed(), 0);
+        assert!(!dsa.is_complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn ooo_gcm_rejects_unaligned_offset() {
+        let mut dsa = OooGcm::new(
+            AesGcm::new_128(&[0u8; 16]),
+            [0u8; 12],
+            b"",
+            128,
+            Direction::Encrypt,
+        );
+        dsa.process_cacheline(32, &[0u8; 64]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_seal_open_roundtrip(
+            key: [u8; 16],
+            iv: [u8; 12],
+            aad in proptest::collection::vec(any::<u8>(), 0..48),
+            pt in proptest::collection::vec(any::<u8>(), 0..300),
+        ) {
+            let gcm = AesGcm::new_128(&key);
+            let (ct, tag) = gcm.seal(&iv, &aad, &pt);
+            prop_assert_eq!(ct.len(), pt.len());
+            prop_assert_eq!(gcm.open(&iv, &aad, &ct, &tag).unwrap(), pt);
+        }
+
+        #[test]
+        fn prop_ooo_matches_sequential(
+            key: [u8; 16],
+            iv: [u8; 12],
+            aad in proptest::collection::vec(any::<u8>(), 0..32),
+            pt in proptest::collection::vec(any::<u8>(), 1..600),
+            seed: u64,
+        ) {
+            let gcm = AesGcm::new_128(&key);
+            let (want_ct, want_tag) = gcm.seal(&iv, &aad, &pt);
+
+            let mut dsa = OooGcm::new(
+                AesGcm::new_128(&key), iv, &aad, pt.len(), Direction::Encrypt,
+            );
+            let mut starts: Vec<usize> = (0..pt.len()).step_by(CACHELINE).collect();
+            simkit::DetRng::new(seed).shuffle(&mut starts);
+            let mut got = vec![0u8; pt.len()];
+            for start in starts {
+                let end = (start + CACHELINE).min(pt.len());
+                let out = dsa.process_cacheline(start, &pt[start..end]);
+                got[start..end].copy_from_slice(&out);
+            }
+            prop_assert!(dsa.is_complete());
+            prop_assert_eq!(got, want_ct);
+            prop_assert_eq!(dsa.tag(), want_tag);
+        }
+
+        #[test]
+        fn prop_open_rejects_bit_flips(
+            key: [u8; 16],
+            iv: [u8; 12],
+            pt in proptest::collection::vec(any::<u8>(), 1..64),
+            flip_byte in 0usize..64,
+            flip_bit in 0u8..8,
+        ) {
+            let gcm = AesGcm::new_128(&key);
+            let (mut ct, tag) = gcm.seal(&iv, b"", &pt);
+            let idx = flip_byte % ct.len();
+            ct[idx] ^= 1 << flip_bit;
+            prop_assert_eq!(gcm.open(&iv, b"", &ct, &tag), Err(CryptoError::TagMismatch));
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Arithmetic in GF(2^128) with the GCM bit ordering.
+//!
+//! GCM interprets 16-byte blocks with the *most significant* bit of the
+//! first byte as the coefficient of x^0 (the "reflected" convention). The
+//! reduction polynomial is x^128 + x^7 + x^2 + x + 1, which in this
+//! convention appears as the constant `0xE1` shifted into the top byte.
+//!
+//! [`Gf128`] is the element type used by GHASH and by the SmartDIMM TLS
+//! DSA's precomputed table of powers of `H` (§V-A).
+
+use std::ops::{Add, Mul};
+
+/// An element of GF(2^128) in GCM bit order.
+///
+/// # Example
+///
+/// ```
+/// use ulp_crypto::gf128::Gf128;
+/// let h = Gf128::from_bytes(&[0x80; 16]);
+/// let one = Gf128::ONE;
+/// assert_eq!(h * one, h);          // multiplicative identity
+/// assert_eq!(h + h, Gf128::ZERO);  // characteristic 2
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Gf128(u128);
+
+impl Gf128 {
+    /// The additive identity.
+    pub const ZERO: Gf128 = Gf128(0);
+    /// The multiplicative identity: x^0, i.e. the MSB of the first byte.
+    pub const ONE: Gf128 = Gf128(1 << 127);
+
+    /// Interprets 16 big-endian bytes as a field element.
+    pub fn from_bytes(b: &[u8; 16]) -> Gf128 {
+        Gf128(u128::from_be_bytes(*b))
+    }
+
+    /// Serializes the element back to 16 big-endian bytes.
+    pub fn to_bytes(self) -> [u8; 16] {
+        self.0.to_be_bytes()
+    }
+
+    /// Whether this is the zero element.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Computes `self^n` by square-and-multiply (n ≥ 0; `x^0 == ONE`).
+    pub fn pow(self, mut n: u64) -> Gf128 {
+        let mut result = Gf128::ONE;
+        let mut base = self;
+        while n > 0 {
+            if n & 1 == 1 {
+                result = result * base;
+            }
+            base = base * base;
+            n >>= 1;
+        }
+        result
+    }
+}
+
+impl Add for Gf128 {
+    type Output = Gf128;
+    /// Addition in GF(2^128) is XOR.
+    #[inline]
+    fn add(self, rhs: Gf128) -> Gf128 {
+        Gf128(self.0 ^ rhs.0)
+    }
+}
+
+impl Mul for Gf128 {
+    type Output = Gf128;
+    /// Carry-less multiplication with on-the-fly reduction, exactly the
+    /// algorithm in NIST SP 800-38D §6.3.
+    fn mul(self, rhs: Gf128) -> Gf128 {
+        const R: u128 = 0xE1 << 120;
+        let mut z: u128 = 0;
+        let mut v = self.0;
+        let y = rhs.0;
+        for i in 0..128 {
+            if (y >> (127 - i)) & 1 == 1 {
+                z ^= v;
+            }
+            let lsb = v & 1;
+            v >>= 1;
+            if lsb == 1 {
+                v ^= R;
+            }
+        }
+        Gf128(z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn hex16(s: &str) -> [u8; 16] {
+        let v: Vec<u8> = (0..32)
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect();
+        v.try_into().unwrap()
+    }
+
+    #[test]
+    fn identity_and_zero() {
+        let a = Gf128::from_bytes(&hex16("66e94bd4ef8a2c3b884cfa59ca342b2e"));
+        assert_eq!(a * Gf128::ONE, a);
+        assert_eq!(a * Gf128::ZERO, Gf128::ZERO);
+        assert_eq!(a + Gf128::ZERO, a);
+        assert!(Gf128::ZERO.is_zero());
+        assert!(!a.is_zero());
+    }
+
+    #[test]
+    fn known_product_from_gcm_test_case_2() {
+        // In GCM test case 2 (zero key, one zero plaintext block), the tag
+        // computation includes GHASH steps we can replicate: with
+        // H = 66e94bd4ef8a2c3b884cfa59ca342b2e and
+        // C1 = 0388dace60b6a392f328c2b971b2fe78,
+        // GHASH = (C1 · H + LenBlock) · H = f38cbb1ad69223dcc3457ae5b6b0f885.
+        let h = Gf128::from_bytes(&hex16("66e94bd4ef8a2c3b884cfa59ca342b2e"));
+        let c1 = Gf128::from_bytes(&hex16("0388dace60b6a392f328c2b971b2fe78"));
+        let mut len_block = [0u8; 16];
+        len_block[8..].copy_from_slice(&(128u64).to_be_bytes());
+        let len = Gf128::from_bytes(&len_block);
+        let ghash = (c1 * h + len) * h;
+        assert_eq!(
+            ghash.to_bytes(),
+            hex16("f38cbb1ad69223dcc3457ae5b6b0f885")
+        );
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let h = Gf128::from_bytes(&hex16("acbef20579b4b8ebce889bac8732dad7"));
+        let mut acc = Gf128::ONE;
+        for n in 0..16u64 {
+            assert_eq!(h.pow(n), acc, "H^{n}");
+            acc = acc * h;
+        }
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        let b = hex16("0123456789abcdef0f1e2d3c4b5a6978");
+        assert_eq!(Gf128::from_bytes(&b).to_bytes(), b);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mul_commutative(a: [u8; 16], b: [u8; 16]) {
+            let x = Gf128::from_bytes(&a);
+            let y = Gf128::from_bytes(&b);
+            prop_assert_eq!(x * y, y * x);
+        }
+
+        #[test]
+        fn prop_mul_associative(a: [u8; 16], b: [u8; 16], c: [u8; 16]) {
+            let x = Gf128::from_bytes(&a);
+            let y = Gf128::from_bytes(&b);
+            let z = Gf128::from_bytes(&c);
+            prop_assert_eq!((x * y) * z, x * (y * z));
+        }
+
+        #[test]
+        fn prop_mul_distributes_over_add(a: [u8; 16], b: [u8; 16], c: [u8; 16]) {
+            let x = Gf128::from_bytes(&a);
+            let y = Gf128::from_bytes(&b);
+            let z = Gf128::from_bytes(&c);
+            prop_assert_eq!(x * (y + z), x * y + x * z);
+        }
+
+        #[test]
+        fn prop_add_self_inverse(a: [u8; 16]) {
+            let x = Gf128::from_bytes(&a);
+            prop_assert_eq!(x + x, Gf128::ZERO);
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! GHASH — the universal hash of GCM — in both the textbook sequential
+//! form and the out-of-order form used by SmartDIMM's TLS DSA.
+//!
+//! Sequentially, GHASH chains `Y_i = (Y_{i-1} ⊕ X_i) · H`. That chain
+//! would force the DIMM-side accelerator to see cachelines in order, but
+//! the memory controller reorders CAS commands. §V-A of the paper solves
+//! this by *precomputing powers of H*: since
+//!
+//! ```text
+//! GHASH(X_1 .. X_n) = Σ_{i=1..n}  X_i · H^(n-i+1)
+//! ```
+//!
+//! each 16-byte block's contribution depends only on its own index and the
+//! total block count, so blocks may be absorbed in any order. The DSA
+//! precomputes H^i "in strides of 4" (four blocks per 64-byte cacheline);
+//! [`HPowers`] models that table, and [`OooGhash`] the order-independent
+//! accumulator.
+
+use crate::gf128::Gf128;
+
+/// Precomputed powers of the hash subkey `H` (H^1 .. H^max).
+///
+/// In hardware this table lives in Config Memory and is filled by the GF
+/// multiplier as soon as the source buffer is registered (§V-A). One
+/// 4 KB page plus the length block needs 258 powers; the table size is a
+/// constructor parameter so ablations can vary it.
+///
+/// # Example
+///
+/// ```
+/// use ulp_crypto::gf128::Gf128;
+/// use ulp_crypto::ghash::HPowers;
+/// let h = Gf128::from_bytes(&[7u8; 16]);
+/// let powers = HPowers::new(h, 8);
+/// assert_eq!(powers.get(1), h);
+/// assert_eq!(powers.get(3), h * h * h);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HPowers {
+    powers: Vec<Gf128>, // powers[i] = H^(i+1)
+}
+
+impl HPowers {
+    /// Precomputes `H^1 ..= H^max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max` is zero.
+    pub fn new(h: Gf128, max: usize) -> HPowers {
+        assert!(max > 0, "need at least H^1");
+        let mut powers = Vec::with_capacity(max);
+        let mut acc = h;
+        for _ in 0..max {
+            powers.push(acc);
+            acc = acc * h;
+        }
+        HPowers { powers }
+    }
+
+    /// Returns `H^exp` (1-indexed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exp` is zero or beyond the precomputed range.
+    pub fn get(&self, exp: usize) -> Gf128 {
+        assert!(exp >= 1, "H^0 is not stored");
+        self.powers[exp - 1]
+    }
+
+    /// Largest precomputed exponent.
+    pub fn max_exp(&self) -> usize {
+        self.powers.len()
+    }
+}
+
+/// Textbook sequential GHASH.
+///
+/// Used by the software AES-GCM baseline (the "CPU with AES-NI"
+/// configuration) and as the oracle the out-of-order DSA form is tested
+/// against.
+#[derive(Debug, Clone)]
+pub struct Ghash {
+    h: Gf128,
+    y: Gf128,
+}
+
+impl Ghash {
+    /// Creates a GHASH instance keyed by `h`.
+    pub fn new(h: Gf128) -> Ghash {
+        Ghash { h, y: Gf128::ZERO }
+    }
+
+    /// Absorbs one 16-byte block.
+    pub fn update_block(&mut self, block: &[u8; 16]) {
+        self.y = (self.y + Gf128::from_bytes(block)) * self.h;
+    }
+
+    /// Absorbs `data`, zero-padding the final partial block (as GCM does
+    /// between the AAD and ciphertext sections).
+    pub fn update_padded(&mut self, data: &[u8]) {
+        for chunk in data.chunks(16) {
+            let mut block = [0u8; 16];
+            block[..chunk.len()].copy_from_slice(chunk);
+            self.update_block(&block);
+        }
+    }
+
+    /// Returns the current hash value.
+    pub fn finalize(&self) -> [u8; 16] {
+        self.y.to_bytes()
+    }
+}
+
+/// Order-independent GHASH over a message with a known total block count.
+///
+/// This is the DSA-side formulation: every block contributes
+/// `X_i · H^(n-i+1)` where `n` is the total number of blocks (including
+/// the final length block), and contributions are XOR-accumulated in any
+/// order. The result equals sequential GHASH once every block has been
+/// absorbed exactly once.
+///
+/// # Example
+///
+/// ```
+/// use ulp_crypto::gf128::Gf128;
+/// use ulp_crypto::ghash::{Ghash, HPowers, OooGhash};
+///
+/// let h = Gf128::from_bytes(&[0x42; 16]);
+/// let blocks: Vec<[u8; 16]> = (0..4u8).map(|i| [i; 16]).collect();
+///
+/// let mut seq = Ghash::new(h);
+/// for b in &blocks { seq.update_block(b); }
+///
+/// let powers = HPowers::new(h, blocks.len());
+/// let mut ooo = OooGhash::new(blocks.len());
+/// // Absorb in reverse order — the result must not change.
+/// for (i, b) in blocks.iter().enumerate().rev() {
+///     ooo.absorb(&powers, i, b);
+/// }
+/// assert_eq!(ooo.finalize(), seq.finalize());
+/// ```
+#[derive(Debug, Clone)]
+pub struct OooGhash {
+    total_blocks: usize,
+    acc: Gf128,
+    absorbed: u64,
+}
+
+impl OooGhash {
+    /// Creates an accumulator for a message of exactly `total_blocks`
+    /// 16-byte blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_blocks` is zero.
+    pub fn new(total_blocks: usize) -> OooGhash {
+        assert!(total_blocks > 0, "message must have at least one block");
+        OooGhash {
+            total_blocks,
+            acc: Gf128::ZERO,
+            absorbed: 0,
+        }
+    }
+
+    /// Absorbs block `index` (0-based position within the message).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or the required power of `H` was
+    /// not precomputed.
+    pub fn absorb(&mut self, powers: &HPowers, index: usize, block: &[u8; 16]) {
+        assert!(index < self.total_blocks, "block index out of range");
+        let exp = self.total_blocks - index; // n - i + 1 with 1-based i
+        self.acc = self.acc + Gf128::from_bytes(block) * powers.get(exp);
+        self.absorbed += 1;
+    }
+
+    /// Number of blocks absorbed so far (duplicates are not detected; the
+    /// caller — the DSA — guarantees each cacheline is processed once).
+    pub fn absorbed(&self) -> u64 {
+        self.absorbed
+    }
+
+    /// Whether every block of the message has been absorbed.
+    pub fn is_complete(&self) -> bool {
+        self.absorbed == self.total_blocks as u64
+    }
+
+    /// Returns the accumulated hash value.
+    pub fn finalize(&self) -> [u8; 16] {
+        self.acc.to_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn h_fixture() -> Gf128 {
+        Gf128::from_bytes(&[
+            0x66, 0xe9, 0x4b, 0xd4, 0xef, 0x8a, 0x2c, 0x3b, 0x88, 0x4c, 0xfa, 0x59, 0xca, 0x34,
+            0x2b, 0x2e,
+        ])
+    }
+
+    #[test]
+    fn hpowers_first_is_h() {
+        let h = h_fixture();
+        let p = HPowers::new(h, 4);
+        assert_eq!(p.get(1), h);
+        assert_eq!(p.get(2), h * h);
+        assert_eq!(p.max_exp(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "H^0")]
+    fn hpowers_rejects_zero_exp() {
+        HPowers::new(h_fixture(), 2).get(0);
+    }
+
+    #[test]
+    fn sequential_ghash_zero_message() {
+        let mut g = Ghash::new(h_fixture());
+        g.update_block(&[0u8; 16]);
+        // (0 + 0) * H = 0
+        assert_eq!(g.finalize(), [0u8; 16]);
+    }
+
+    #[test]
+    fn update_padded_pads_with_zeros() {
+        let h = h_fixture();
+        let mut a = Ghash::new(h);
+        a.update_padded(&[1, 2, 3]);
+        let mut b = Ghash::new(h);
+        let mut block = [0u8; 16];
+        block[..3].copy_from_slice(&[1, 2, 3]);
+        b.update_block(&block);
+        assert_eq!(a.finalize(), b.finalize());
+    }
+
+    #[test]
+    fn ooo_matches_sequential_any_order() {
+        let h = h_fixture();
+        let blocks: Vec<[u8; 16]> = (0..17u8).map(|i| [i.wrapping_mul(37); 16]).collect();
+        let mut seq = Ghash::new(h);
+        for b in &blocks {
+            seq.update_block(b);
+        }
+        let powers = HPowers::new(h, blocks.len());
+
+        // A few deterministic permutations.
+        let orders: Vec<Vec<usize>> = vec![
+            (0..blocks.len()).collect(),
+            (0..blocks.len()).rev().collect(),
+            (0..blocks.len())
+                .map(|i| (i * 7) % blocks.len())
+                .collect(),
+        ];
+        for order in orders {
+            let mut ooo = OooGhash::new(blocks.len());
+            for &i in &order {
+                ooo.absorb(&powers, i, &blocks[i]);
+            }
+            assert!(ooo.is_complete());
+            assert_eq!(ooo.finalize(), seq.finalize());
+        }
+    }
+
+    #[test]
+    fn ooo_tracks_completion() {
+        let h = h_fixture();
+        let powers = HPowers::new(h, 2);
+        let mut ooo = OooGhash::new(2);
+        assert!(!ooo.is_complete());
+        ooo.absorb(&powers, 1, &[1; 16]);
+        assert_eq!(ooo.absorbed(), 1);
+        assert!(!ooo.is_complete());
+        ooo.absorb(&powers, 0, &[2; 16]);
+        assert!(ooo.is_complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn ooo_rejects_bad_index() {
+        let powers = HPowers::new(h_fixture(), 4);
+        OooGhash::new(2).absorb(&powers, 2, &[0; 16]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ooo_equals_sequential(
+            hbytes: [u8; 16],
+            data in proptest::collection::vec(any::<u8>(), 16..512),
+            seed: u64,
+        ) {
+            let h = Gf128::from_bytes(&hbytes);
+            let blocks: Vec<[u8; 16]> = data
+                .chunks(16)
+                .map(|c| {
+                    let mut b = [0u8; 16];
+                    b[..c.len()].copy_from_slice(c);
+                    b
+                })
+                .collect();
+            let mut seq = Ghash::new(h);
+            for b in &blocks { seq.update_block(b); }
+
+            let powers = HPowers::new(h, blocks.len());
+            let mut order: Vec<usize> = (0..blocks.len()).collect();
+            let mut rng = simkit::DetRng::new(seed);
+            rng.shuffle(&mut order);
+
+            let mut ooo = OooGhash::new(blocks.len());
+            for &i in &order {
+                ooo.absorb(&powers, i, &blocks[i]);
+            }
+            prop_assert_eq!(ooo.finalize(), seq.finalize());
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! `ulp-crypto` implements the cryptographic upper-layer protocol (ULP)
+//! stack that SmartDIMM offloads: AES, GHASH over GF(2^128), AES-GCM, and
+//! the TLS 1.3 record layer, plus SHA-256/HMAC/HKDF for key derivation.
+//!
+//! Everything is written from scratch (no external crypto crates) because
+//! the SmartDIMM DSA model in the `smartdimm` crate needs access to the
+//! *internals*: precomputed powers of `H`, per-cacheline out-of-order
+//! keystream generation, and partial authentication tags ([`gcm::OooGcm`]).
+//! Those are exactly the pieces §V-A of the paper moves into the DIMM
+//! buffer device.
+//!
+//! Functional correctness is anchored to published test vectors
+//! (FIPS-197 for AES, the McGrew–Viega GCM vectors, RFC 4231 for HMAC and
+//! RFC 5869 for HKDF) plus round-trip property tests.
+//!
+//! # Example
+//!
+//! ```
+//! use ulp_crypto::gcm::AesGcm;
+//!
+//! let key = [0u8; 16];
+//! let iv = [0u8; 12];
+//! let gcm = AesGcm::new_128(&key);
+//! let (ct, tag) = gcm.seal(&iv, b"", b"hello, smartdimm");
+//! let pt = gcm.open(&iv, b"", &ct, &tag).expect("tag verifies");
+//! assert_eq!(pt, b"hello, smartdimm");
+//! ```
+
+pub mod aes;
+pub mod gcm;
+pub mod gf128;
+pub mod ghash;
+pub mod sha256;
+pub mod tls;
+
+/// Errors produced by this crate's fallible operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CryptoError {
+    /// Authentication tag mismatch during AEAD open.
+    TagMismatch,
+    /// A TLS record failed structural validation.
+    MalformedRecord,
+    /// A TLS record exceeded the maximum permitted payload size.
+    RecordTooLarge,
+    /// A record arrived with an unexpected sequence number.
+    SequenceMismatch,
+}
+
+impl std::fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CryptoError::TagMismatch => write!(f, "authentication tag mismatch"),
+            CryptoError::MalformedRecord => write!(f, "malformed TLS record"),
+            CryptoError::RecordTooLarge => write!(f, "TLS record exceeds maximum size"),
+            CryptoError::SequenceMismatch => write!(f, "unexpected record sequence number"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}

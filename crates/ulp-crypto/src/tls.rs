@@ -1,0 +1,404 @@
+//! TLS 1.3 record layer (RFC 8446 §5), the ULP that SmartDIMM's TLS DSA
+//! accelerates.
+//!
+//! The record layer is deliberately complete enough to exercise every
+//! mechanism the paper relies on: per-record nonces derived from the
+//! traffic IV and a 64-bit sequence number, additional data over the
+//! 5-byte record header, the inner-plaintext content-type byte, and the
+//! 2^14-byte record size limit. Handshake *negotiation* is out of scope
+//! (the paper measures steady-state application traffic); sessions are
+//! created directly from a shared traffic secret via the real TLS 1.3
+//! `HKDF-Expand-Label` schedule.
+
+use crate::gcm::{AesGcm, IV_LEN, TAG_LEN};
+use crate::sha256::hkdf_expand_label;
+use crate::CryptoError;
+
+/// Maximum TLS plaintext fragment size (RFC 8446 §5.1).
+pub const MAX_PLAINTEXT: usize = 1 << 14;
+/// TLS record header length.
+pub const HEADER_LEN: usize = 5;
+/// `ContentType` values used by the record layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContentType {
+    /// Application data (0x17) — everything in steady state.
+    ApplicationData,
+    /// Alert (0x15).
+    Alert,
+    /// Handshake (0x16).
+    Handshake,
+}
+
+impl ContentType {
+    fn to_byte(self) -> u8 {
+        match self {
+            ContentType::ApplicationData => 23,
+            ContentType::Alert => 21,
+            ContentType::Handshake => 22,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<ContentType> {
+        match b {
+            23 => Some(ContentType::ApplicationData),
+            21 => Some(ContentType::Alert),
+            22 => Some(ContentType::Handshake),
+            _ => None,
+        }
+    }
+}
+
+/// Per-direction traffic keys derived from a traffic secret.
+#[derive(Debug, Clone)]
+pub struct TrafficKeys {
+    key: [u8; 16],
+    iv: [u8; IV_LEN],
+}
+
+impl TrafficKeys {
+    /// Derives `key` and `iv` from a 32-byte traffic secret using
+    /// `HKDF-Expand-Label` exactly as RFC 8446 §7.3 specifies
+    /// (AES-128-GCM cipher suite).
+    pub fn derive(traffic_secret: &[u8; 32]) -> TrafficKeys {
+        let key_bytes = hkdf_expand_label(traffic_secret, "key", b"", 16);
+        let iv_bytes = hkdf_expand_label(traffic_secret, "iv", b"", IV_LEN);
+        TrafficKeys {
+            key: key_bytes.try_into().expect("16-byte key"),
+            iv: iv_bytes.try_into().expect("12-byte iv"),
+        }
+    }
+
+    /// The AES-128 traffic key.
+    pub fn key(&self) -> &[u8; 16] {
+        &self.key
+    }
+
+    /// The static per-connection IV that is XORed with the record
+    /// sequence number to form each nonce.
+    pub fn iv(&self) -> &[u8; IV_LEN] {
+        &self.iv
+    }
+
+    /// The per-record nonce for sequence number `seq` (RFC 8446 §5.3).
+    pub fn nonce(&self, seq: u64) -> [u8; IV_LEN] {
+        let mut nonce = self.iv;
+        let seq_bytes = seq.to_be_bytes();
+        for i in 0..8 {
+            nonce[IV_LEN - 8 + i] ^= seq_bytes[i];
+        }
+        nonce
+    }
+}
+
+/// Builds the 5-byte record header / additional data for a ciphertext of
+/// `ct_len` bytes (which already includes the content-type byte and tag).
+fn record_header(ct_len: usize) -> [u8; HEADER_LEN] {
+    [
+        ContentType::ApplicationData.to_byte(),
+        0x03,
+        0x03,
+        (ct_len >> 8) as u8,
+        (ct_len & 0xff) as u8,
+    ]
+}
+
+/// One direction of a TLS 1.3 connection after the handshake: encrypts
+/// outgoing records or decrypts incoming ones, maintaining the implicit
+/// sequence number.
+///
+/// # Example
+///
+/// ```
+/// use ulp_crypto::tls::{RecordLayer, ContentType};
+///
+/// let secret = [0x42u8; 32];
+/// let mut tx = RecordLayer::new(&secret);
+/// let mut rx = RecordLayer::new(&secret);
+///
+/// let record = tx.encrypt(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+/// let (ctype, pt) = rx.decrypt(&record).unwrap();
+/// assert_eq!(ctype, ContentType::ApplicationData);
+/// assert_eq!(pt, b"GET / HTTP/1.1\r\n\r\n");
+/// ```
+#[derive(Debug, Clone)]
+pub struct RecordLayer {
+    keys: TrafficKeys,
+    gcm: AesGcm,
+    seq: u64,
+}
+
+impl RecordLayer {
+    /// Creates a record layer from a 32-byte traffic secret.
+    pub fn new(traffic_secret: &[u8; 32]) -> RecordLayer {
+        let keys = TrafficKeys::derive(traffic_secret);
+        let gcm = AesGcm::new_128(keys.key());
+        RecordLayer { keys, gcm, seq: 0 }
+    }
+
+    /// The next sequence number this layer will use.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The traffic keys (needed by the SmartDIMM offload path, which
+    /// ships key material to the DSA instead of encrypting in software).
+    pub fn keys(&self) -> &TrafficKeys {
+        &self.keys
+    }
+
+    /// Borrows the GCM instance.
+    pub fn gcm(&self) -> &AesGcm {
+        &self.gcm
+    }
+
+    /// Encrypts an application-data record, consuming one sequence number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::RecordTooLarge`] if `plaintext` exceeds
+    /// 2^14 bytes.
+    pub fn encrypt(&mut self, plaintext: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        self.encrypt_typed(plaintext, ContentType::ApplicationData)
+    }
+
+    /// Encrypts a record with an explicit content type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::RecordTooLarge`] if `plaintext` exceeds
+    /// 2^14 bytes.
+    pub fn encrypt_typed(
+        &mut self,
+        plaintext: &[u8],
+        ctype: ContentType,
+    ) -> Result<Vec<u8>, CryptoError> {
+        if plaintext.len() > MAX_PLAINTEXT {
+            return Err(CryptoError::RecordTooLarge);
+        }
+        // TLSInnerPlaintext = content || ContentType (no padding).
+        let mut inner = Vec::with_capacity(plaintext.len() + 1);
+        inner.extend_from_slice(plaintext);
+        inner.push(ctype.to_byte());
+
+        let ct_len = inner.len() + TAG_LEN;
+        let header = record_header(ct_len);
+        let nonce = self.keys.nonce(self.seq);
+        let (ct, tag) = self.gcm.seal(&nonce, &header, &inner);
+        self.seq += 1;
+
+        let mut record = Vec::with_capacity(HEADER_LEN + ct_len);
+        record.extend_from_slice(&header);
+        record.extend_from_slice(&ct);
+        record.extend_from_slice(&tag);
+        Ok(record)
+    }
+
+    /// Decrypts one full record, consuming one sequence number.
+    ///
+    /// # Errors
+    ///
+    /// * [`CryptoError::MalformedRecord`] — truncated record, bad header,
+    ///   or missing content type.
+    /// * [`CryptoError::RecordTooLarge`] — length field exceeds the limit.
+    /// * [`CryptoError::TagMismatch`] — authentication failure.
+    pub fn decrypt(&mut self, record: &[u8]) -> Result<(ContentType, Vec<u8>), CryptoError> {
+        if record.len() < HEADER_LEN + TAG_LEN + 1 {
+            return Err(CryptoError::MalformedRecord);
+        }
+        let header: [u8; HEADER_LEN] = record[..HEADER_LEN].try_into().expect("header");
+        if header[0] != ContentType::ApplicationData.to_byte()
+            || header[1] != 0x03
+            || header[2] != 0x03
+        {
+            return Err(CryptoError::MalformedRecord);
+        }
+        let ct_len = ((header[3] as usize) << 8) | header[4] as usize;
+        if ct_len > MAX_PLAINTEXT + 1 + TAG_LEN + 256 {
+            return Err(CryptoError::RecordTooLarge);
+        }
+        if record.len() != HEADER_LEN + ct_len {
+            return Err(CryptoError::MalformedRecord);
+        }
+        let (ct, tag_bytes) = record[HEADER_LEN..].split_at(ct_len - TAG_LEN);
+        let tag: [u8; TAG_LEN] = tag_bytes.try_into().expect("tag");
+        let nonce = self.keys.nonce(self.seq);
+        let mut inner = self.gcm.open(&nonce, &header, ct, &tag)?;
+        self.seq += 1;
+        // Strip trailing zero padding, then the content type byte.
+        while inner.last() == Some(&0) {
+            inner.pop();
+        }
+        let ctype_byte = inner.pop().ok_or(CryptoError::MalformedRecord)?;
+        let ctype = ContentType::from_byte(ctype_byte).ok_or(CryptoError::MalformedRecord)?;
+        Ok((ctype, inner))
+    }
+
+    /// Splits `payload` into maximally sized records and encrypts each —
+    /// how a web server sends a large HTTP response body.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any encryption error (none occur for valid input).
+    pub fn encrypt_stream(&mut self, payload: &[u8]) -> Result<Vec<Vec<u8>>, CryptoError> {
+        if payload.is_empty() {
+            return Ok(vec![self.encrypt(b"")?]);
+        }
+        payload.chunks(MAX_PLAINTEXT).map(|c| self.encrypt(c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pair() -> (RecordLayer, RecordLayer) {
+        let secret = [0xA5u8; 32];
+        (RecordLayer::new(&secret), RecordLayer::new(&secret))
+    }
+
+    #[test]
+    fn round_trip_single_record() {
+        let (mut tx, mut rx) = pair();
+        let record = tx.encrypt(b"hello world").unwrap();
+        assert_eq!(record[0], 23);
+        assert_eq!(&record[1..3], &[3, 3]);
+        let (ctype, pt) = rx.decrypt(&record).unwrap();
+        assert_eq!(ctype, ContentType::ApplicationData);
+        assert_eq!(pt, b"hello world");
+    }
+
+    #[test]
+    fn sequence_numbers_advance() {
+        let (mut tx, mut rx) = pair();
+        for i in 0..10u32 {
+            let msg = format!("record {i}");
+            let record = tx.encrypt(msg.as_bytes()).unwrap();
+            let (_, pt) = rx.decrypt(&record).unwrap();
+            assert_eq!(pt, msg.as_bytes());
+        }
+        assert_eq!(tx.seq(), 10);
+        assert_eq!(rx.seq(), 10);
+    }
+
+    #[test]
+    fn out_of_order_decryption_fails_tag() {
+        let (mut tx, mut rx) = pair();
+        let r0 = tx.encrypt(b"first").unwrap();
+        let r1 = tx.encrypt(b"second").unwrap();
+        // Decrypting r1 first uses seq 0's nonce -> tag mismatch.
+        assert_eq!(rx.decrypt(&r1), Err(CryptoError::TagMismatch));
+        // seq was consumed by the failed attempt? No: decrypt consumes the
+        // sequence number only on success... but our implementation bumps
+        // after open succeeds, so r0 still decrypts.
+        let (_, pt) = rx.decrypt(&r0).unwrap();
+        assert_eq!(pt, b"first");
+    }
+
+    #[test]
+    fn nonces_differ_per_record() {
+        let keys = TrafficKeys::derive(&[1u8; 32]);
+        let n0 = keys.nonce(0);
+        let n1 = keys.nonce(1);
+        assert_ne!(n0, n1);
+        assert_eq!(n0[..4], n1[..4]); // only the seq-XORed tail differs
+        assert_eq!(keys.nonce(0), n0); // deterministic
+    }
+
+    #[test]
+    fn content_types_round_trip() {
+        let (mut tx, mut rx) = pair();
+        let record = tx.encrypt_typed(b"alert!", ContentType::Alert).unwrap();
+        let (ctype, pt) = rx.decrypt(&record).unwrap();
+        assert_eq!(ctype, ContentType::Alert);
+        assert_eq!(pt, b"alert!");
+    }
+
+    #[test]
+    fn oversized_plaintext_rejected() {
+        let (mut tx, _) = pair();
+        let big = vec![0u8; MAX_PLAINTEXT + 1];
+        assert_eq!(tx.encrypt(&big), Err(CryptoError::RecordTooLarge));
+    }
+
+    #[test]
+    fn malformed_records_rejected() {
+        let (mut tx, mut rx) = pair();
+        let record = tx.encrypt(b"x").unwrap();
+        assert_eq!(rx.decrypt(&record[..3]), Err(CryptoError::MalformedRecord));
+        let mut bad_type = record.clone();
+        bad_type[0] = 0x55;
+        assert_eq!(rx.decrypt(&bad_type), Err(CryptoError::MalformedRecord));
+        let mut bad_len = record.clone();
+        bad_len[4] ^= 1;
+        assert_eq!(rx.decrypt(&bad_len), Err(CryptoError::MalformedRecord));
+    }
+
+    #[test]
+    fn tampered_payload_rejected() {
+        let (mut tx, mut rx) = pair();
+        let mut record = tx.encrypt(b"important data").unwrap();
+        record[7] ^= 0x01;
+        assert_eq!(rx.decrypt(&record), Err(CryptoError::TagMismatch));
+    }
+
+    #[test]
+    fn encrypt_stream_fragments_large_payloads() {
+        let (mut tx, mut rx) = pair();
+        let payload = vec![0x5Au8; MAX_PLAINTEXT * 2 + 100];
+        let records = tx.encrypt_stream(&payload).unwrap();
+        assert_eq!(records.len(), 3);
+        let mut reassembled = Vec::new();
+        for r in &records {
+            let (_, pt) = rx.decrypt(r).unwrap();
+            reassembled.extend_from_slice(&pt);
+        }
+        assert_eq!(reassembled, payload);
+    }
+
+    #[test]
+    fn encrypt_stream_empty_payload() {
+        let (mut tx, mut rx) = pair();
+        let records = tx.encrypt_stream(b"").unwrap();
+        assert_eq!(records.len(), 1);
+        let (_, pt) = rx.decrypt(&records[0]).unwrap();
+        assert!(pt.is_empty());
+    }
+
+    #[test]
+    fn different_secrets_cannot_interoperate() {
+        let mut tx = RecordLayer::new(&[1u8; 32]);
+        let mut rx = RecordLayer::new(&[2u8; 32]);
+        let record = tx.encrypt(b"secret").unwrap();
+        assert_eq!(rx.decrypt(&record), Err(CryptoError::TagMismatch));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_record_round_trip(
+            secret: [u8; 32],
+            payload in proptest::collection::vec(any::<u8>(), 0..2000),
+        ) {
+            let mut tx = RecordLayer::new(&secret);
+            let mut rx = RecordLayer::new(&secret);
+            let record = tx.encrypt(&payload).unwrap();
+            let (ctype, pt) = rx.decrypt(&record).unwrap();
+            prop_assert_eq!(ctype, ContentType::ApplicationData);
+            prop_assert_eq!(pt, payload);
+        }
+
+        #[test]
+        fn prop_stream_reassembles(
+            secret: [u8; 32],
+            payload in proptest::collection::vec(any::<u8>(), 1..40_000),
+        ) {
+            let mut tx = RecordLayer::new(&secret);
+            let mut rx = RecordLayer::new(&secret);
+            let mut out = Vec::new();
+            for r in tx.encrypt_stream(&payload).unwrap() {
+                out.extend(rx.decrypt(&r).unwrap().1);
+            }
+            prop_assert_eq!(out, payload);
+        }
+    }
+}

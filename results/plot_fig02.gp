@@ -1,0 +1,10 @@
+# Fig. 2: encrypted-flow bandwidth vs packet drops
+set terminal pngcairo size 800,500
+set output 'fig02_smartnic_drops.png'
+set datafile separator ','
+set xlabel 'packet drop rate'
+set ylabel 'goodput (Gbps)'
+set logscale x
+set key top right
+plot 'fig02_smartnic_drops.csv' using ($1+1e-5):2 skip 1 with linespoints title 'CPU (AES-NI)', \
+     'fig02_smartnic_drops.csv' using ($1+1e-5):3 skip 1 with linespoints title 'SmartNIC (autonomous)'

@@ -1,0 +1,8 @@
+# Fig. 3: HTTPS DRAM traffic normalized to HTTP vs connections
+set terminal pngcairo size 800,500
+set output 'fig03_https_membw.png'
+set datafile separator ','
+set xlabel 'concurrent connections'
+set ylabel 'HTTPS DRAM bytes/req normalized to HTTP'
+set logscale x 2
+plot 'fig03_https_membw.csv' using 1:4 skip 1 with linespoints title 'HTTPS / HTTP'

@@ -1,0 +1,9 @@
+# Fig. 9: rdCAS/wrCAS trace (addresses over time, per command kind)
+set terminal pngcairo size 1000,600
+set output 'fig09_cas_trace.png'
+set datafile separator ','
+set xlabel 'cycle'
+set ylabel 'physical address'
+set format y '%.0s%cB'
+plot '< grep rdCAS fig09_cas_trace.csv' using 1:3 with dots lc rgb 'red' title 'rdCAS', \
+     '< grep wrCAS fig09_cas_trace.csv' using 1:3 with dots lc rgb 'green' title 'wrCAS'

@@ -1,0 +1,9 @@
+# Fig. 10: scratchpad occupancy over time per LLC provisioning
+set terminal pngcairo size 900,500
+set output 'fig10_scratchpad.png'
+set datafile separator ','
+set xlabel 'cycle'
+set ylabel 'scratchpad occupancy (bytes)'
+set key top left
+plot for [llc in "4.00MB 2.00MB 0.50MB"] \
+     '< grep '.llc.' fig10_scratchpad.csv' using 2:3 with lines title llc.' LLC'

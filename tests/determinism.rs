@@ -1,0 +1,71 @@
+//! Reproducibility: every simulator in the workspace must be exactly
+//! deterministic given its seeds — the property that makes the
+//! experiment results in `results/` reproducible.
+
+use cache::CacheConfig;
+use netsim::tcp::{simulate_transfer, TcpConfig};
+use platforms::{run_server, PlatformKind, UlpKind, WorkloadConfig};
+use smartdimm::{CompCpyHost, HostConfig, OffloadOp};
+
+#[test]
+fn compcpy_stack_is_deterministic() {
+    let run = || {
+        let mut host = CompCpyHost::new(HostConfig::default());
+        let key = [1u8; 16];
+        let mut trace = Vec::new();
+        for i in 0..8u64 {
+            let src = host.alloc_pages(1);
+            let dst = host.alloc_pages(1);
+            host.mem_mut()
+                .store(src, &ulp_compress::corpus::html(4096, i), 0);
+            let iv = [i as u8; 12];
+            let handle = host
+                .comp_cpy(dst, src, 4096, OffloadOp::TlsEncrypt { key, iv }, false, 0)
+                .unwrap();
+            let out = host.use_buffer(&handle);
+            trace.push((host.mem().now().raw(), out[0], out[4095]));
+        }
+        (trace, host.device_stats())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn tcp_flows_are_deterministic() {
+    let cfg = TcpConfig {
+        loss_prob: 0.01,
+        seed: 123,
+        ..TcpConfig::default()
+    };
+    let a = simulate_transfer(2 << 20, &cfg, |_| 0);
+    let b = simulate_transfer(2 << 20, &cfg, |_| 0);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn server_harness_is_deterministic() {
+    let cfg = WorkloadConfig {
+        message_bytes: 4096,
+        connections: 64,
+        requests: 150,
+        ulp: UlpKind::Compression,
+        llc: Some(CacheConfig::mb(1, 16)),
+        ..WorkloadConfig::default()
+    };
+    let a = run_server(PlatformKind::SmartDimm, &cfg);
+    let b = run_server(PlatformKind::SmartDimm, &cfg);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn seeds_actually_matter() {
+    let base = TcpConfig {
+        loss_prob: 0.02,
+        seed: 1,
+        ..TcpConfig::default()
+    };
+    let other = TcpConfig { seed: 2, ..base };
+    let a = simulate_transfer(2 << 20, &base, |_| 0);
+    let b = simulate_transfer(2 << 20, &other, |_| 0);
+    assert_ne!(a, b, "different seeds must give different loss patterns");
+}
