@@ -16,22 +16,26 @@ fn bench_gcm(c: &mut Criterion) {
             let gcm = AesGcm::new_128(&key);
             b.iter(|| gcm.seal(&iv, b"", msg));
         });
-        group.bench_with_input(BenchmarkId::new("dsa_ooo_cachelines", size), &msg, |b, msg| {
-            b.iter(|| {
-                let mut dsa = OooGcm::new(
-                    AesGcm::new_128(&key),
-                    iv,
-                    b"",
-                    msg.len(),
-                    Direction::Encrypt,
-                );
-                for start in (0..msg.len()).step_by(64) {
-                    let end = (start + 64).min(msg.len());
-                    let _ = dsa.process_cacheline(start, &msg[start..end]);
-                }
-                dsa.tag()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("dsa_ooo_cachelines", size),
+            &msg,
+            |b, msg| {
+                b.iter(|| {
+                    let mut dsa = OooGcm::new(
+                        AesGcm::new_128(&key),
+                        iv,
+                        b"",
+                        msg.len(),
+                        Direction::Encrypt,
+                    );
+                    for start in (0..msg.len()).step_by(64) {
+                        let end = (start + 64).min(msg.len());
+                        let _ = dsa.process_cacheline(start, &msg[start..end]);
+                    }
+                    dsa.tag()
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -1,8 +1,8 @@
 //! Substrate micro-benchmarks: cache accesses, DRAM controller
 //! throughput, cuckoo translation-table operations.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use cache::{CacheConfig, Llc};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use dram::{DramSystem, MemorySystemConfig, PhysAddr};
 use smartdimm::xlat::{Mapping, TranslationTable};
 

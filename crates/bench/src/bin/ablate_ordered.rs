@@ -21,7 +21,14 @@ fn run_offloads(ordered: bool, size: usize, n: u64) -> f64 {
         host.mem_mut().store(src, &msg, 0);
         let iv = [i as u8; 12];
         let handle = host
-            .comp_cpy(dst, src, size, OffloadOp::TlsEncrypt { key, iv }, ordered, 0)
+            .comp_cpy(
+                dst,
+                src,
+                size,
+                OffloadOp::TlsEncrypt { key, iv },
+                ordered,
+                0,
+            )
             .expect("offload accepted");
         let _ = host.use_buffer(&handle);
     }

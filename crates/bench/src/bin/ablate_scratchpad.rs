@@ -30,7 +30,14 @@ fn main() {
             host.mem_mut().store(src, &msg, 0);
             let iv = [i as u8; 12];
             let _ = host
-                .comp_cpy(dst, src, msg.len(), OffloadOp::TlsEncrypt { key, iv }, false, 0)
+                .comp_cpy(
+                    dst,
+                    src,
+                    msg.len(),
+                    OffloadOp::TlsEncrypt { key, iv },
+                    false,
+                    0,
+                )
                 .expect("offload accepted");
         }
         let force = host.force_recycle_count();
@@ -45,7 +52,12 @@ fn main() {
     }
     bench::print_table(
         "§VII-A — Force-Recycle calls vs Scratchpad size (600 offloads, late writebacks)",
-        &["scratchpad pages", "force-recycles", "self-recycled lines", "offloads done"],
+        &[
+            "scratchpad pages",
+            "force-recycles",
+            "self-recycled lines",
+            "offloads done",
+        ],
         &rows,
     );
     println!("\npaper: at 2048 pages, Force-Recycle calls are ~zero");

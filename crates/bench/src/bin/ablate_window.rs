@@ -63,7 +63,13 @@ fn main() {
 
     bench::print_table(
         "§V-B — Deflate DSA window size vs compression ratio and memory cost",
-        &["window", "ratio (out/in)", "comparator", "candidate mem", "dropped lookups"],
+        &[
+            "window",
+            "ratio (out/in)",
+            "comparator",
+            "candidate mem",
+            "dropped lookups",
+        ],
         &rows,
     );
     println!("\npaper: bigger window -> marginally better ratio, much more memory");

@@ -41,7 +41,13 @@ fn main() {
     }
     bench::print_table(
         "Fig. 2 — encrypted-flow bandwidth vs packet drops (32 MiB transfer)",
-        &["drop rate", "CPU Gbps", "SmartNIC Gbps", "resyncs", "NIC cpu-fallback"],
+        &[
+            "drop rate",
+            "CPU Gbps",
+            "SmartNIC Gbps",
+            "resyncs",
+            "NIC cpu-fallback",
+        ],
         &rows,
     );
     bench::write_csv(
@@ -80,7 +86,13 @@ fn main() {
     }
     bench::print_table(
         "Fig. 2 companion — bandwidth vs packet reordering (no loss)",
-        &["reorder rate", "CPU Gbps", "SmartNIC Gbps", "resyncs", "reordered"],
+        &[
+            "reorder rate",
+            "CPU Gbps",
+            "SmartNIC Gbps",
+            "resyncs",
+            "reordered",
+        ],
         &rows,
     );
     bench::write_csv(

@@ -47,7 +47,11 @@ fn main() {
             conns.to_string(),
             format!("{:.0}", http.dram_bytes_per_req),
             format!("{:.0}", https.dram_bytes_per_req),
-            if norm.is_nan() { "-".into() } else { bench::ratio(norm) },
+            if norm.is_nan() {
+                "-".into()
+            } else {
+                bench::ratio(norm)
+            },
             format!("{:.3}", https.llc_miss_rate),
         ]);
         csv.push(format!(

@@ -35,7 +35,14 @@ fn main() {
             host.mem_mut().store(src, &msg, core);
             let iv = [core as u8 + round as u8; 12];
             let _ = host
-                .comp_cpy(dst, src, msg.len(), OffloadOp::TlsEncrypt { key, iv }, false, core)
+                .comp_cpy(
+                    dst,
+                    src,
+                    msg.len(),
+                    OffloadOp::TlsEncrypt { key, iv },
+                    false,
+                    core,
+                )
                 .expect("offload accepted");
             // No use_buffer: recycling happens via natural LLC evictions,
             // so wrCAS commands lag behind their offload's rdCAS stream.
@@ -46,7 +53,12 @@ fn main() {
     let records = trace.records();
     let rd = records.iter().filter(|r| r.kind == "rdCAS").count();
     let wr = records.iter().filter(|r| r.kind == "wrCAS").count();
-    println!("collected {} CAS records ({} rdCAS, {} wrCAS)", records.len(), rd, wr);
+    println!(
+        "collected {} CAS records ({} rdCAS, {} wrCAS)",
+        records.len(),
+        rd,
+        wr
+    );
 
     // Verify the monotonic-address property within each CompCpy source
     // stream (the magnified inset of Fig. 9).

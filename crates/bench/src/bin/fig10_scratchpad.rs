@@ -32,7 +32,14 @@ fn run_with_ways(ways: usize) -> (String, Vec<(u64, f64)>, f64) {
             host.mem_mut().store(src, &msg, 0);
             let iv = [round as u8; 12];
             let _ = host
-                .comp_cpy(dst, src, msg.len(), OffloadOp::TlsEncrypt { key, iv }, false, 0)
+                .comp_cpy(
+                    dst,
+                    src,
+                    msg.len(),
+                    OffloadOp::TlsEncrypt { key, iv },
+                    false,
+                    0,
+                )
                 .expect("offload accepted");
         }
     }
@@ -72,9 +79,7 @@ fn main() {
     );
     println!(
         "\nsmaller LLC -> lower equilibrium: {}",
-        equilibria
-            .windows(2)
-            .all(|w| w[1] <= w[0] * 1.05)
+        equilibria.windows(2).all(|w| w[1] <= w[0] * 1.05)
     );
     bench::write_csv("fig10_scratchpad.csv", "llc,cycle,occupied_bytes", &csv);
 }

@@ -11,9 +11,6 @@
 
 use cache::CacheConfig;
 use platforms::{run_server, PlatformKind, ServerMetrics, UlpKind, WorkloadConfig};
-use serde::Serialize;
-
-#[derive(Serialize)]
 struct Row {
     message: usize,
     platform: String,
@@ -21,6 +18,19 @@ struct Row {
     rps_norm: f64,
     cpu_norm: f64,
     membw_norm: f64,
+}
+
+impl bench::ToJson for Row {
+    fn to_json(&self) -> bench::Json {
+        bench::Json::Obj(vec![
+            ("message".into(), self.message.into()),
+            ("platform".into(), self.platform.clone().into()),
+            ("rps".into(), self.rps.into()),
+            ("rps_norm".into(), self.rps_norm.into()),
+            ("cpu_norm".into(), self.cpu_norm.into()),
+            ("membw_norm".into(), self.membw_norm.into()),
+        ])
+    }
 }
 
 fn main() {

@@ -32,7 +32,14 @@ fn main() {
             host.mem_mut().store(src, &msg, 0);
             let iv = [i as u8; 12];
             let handle = host
-                .comp_cpy(dst, src, msg.len(), OffloadOp::TlsEncrypt { key, iv }, false, 0)
+                .comp_cpy(
+                    dst,
+                    src,
+                    msg.len(),
+                    OffloadOp::TlsEncrypt { key, iv },
+                    false,
+                    0,
+                )
                 .expect("offload accepted");
             let _ = host.use_buffer(&handle);
         }

@@ -282,9 +282,7 @@ impl Llc {
     }
 
     fn find(&mut self, set: usize, tag: u64) -> Option<usize> {
-        self.sets[set]
-            .iter()
-            .position(|l| l.valid && l.tag == tag)
+        self.sets[set].iter().position(|l| l.valid && l.tag == tag)
     }
 
     /// Picks the LRU way among those allowed for `class`, returning the
@@ -402,7 +400,12 @@ impl Llc {
         self.write_line_with_class(addr, DDIO_CLASS, data)
     }
 
-    fn write_line_with_class(&mut self, addr: PhysAddr, class: usize, data: [u8; 64]) -> CacheEvent {
+    fn write_line_with_class(
+        &mut self,
+        addr: PhysAddr,
+        class: usize,
+        data: [u8; 64],
+    ) -> CacheEvent {
         self.write_line(addr, class, data)
     }
 
@@ -431,7 +434,10 @@ impl Llc {
             let line = self.sets[set][w];
             self.sets[set][w].valid = false;
             if line.dirty {
-                return Some(Writeback { addr, data: line.data });
+                return Some(Writeback {
+                    addr,
+                    data: line.data,
+                });
             }
         }
         None
@@ -563,7 +569,7 @@ mod tests {
     fn cat_mask_restricts_allocation_footprint() {
         let mut c = tiny();
         c.set_ways(1, 1); // class 1 may only allocate way 0
-        // Fill the whole set with class 1: it keeps evicting itself.
+                          // Fill the whole set with class 1: it keeps evicting itself.
         for i in 0..16u64 {
             c.write_line(PhysAddr(i * 512), 1, [i as u8; 64]);
         }
@@ -601,7 +607,10 @@ mod tests {
         let mut c = tiny();
         let mut leaked = 0;
         for i in 0..32u64 {
-            if c.dev_write_line(PhysAddr(i * 512), [0xEE; 64]).writeback.is_some() {
+            if c.dev_write_line(PhysAddr(i * 512), [0xEE; 64])
+                .writeback
+                .is_some()
+            {
                 leaked += 1;
             }
         }

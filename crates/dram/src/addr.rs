@@ -89,8 +89,7 @@ impl DramTopology {
 
     /// Total addressable bytes.
     pub fn capacity_bytes(&self) -> u64 {
-        (self.channels * self.ranks * self.banks_per_rank() * self.rows * self.lines_per_row)
-            as u64
+        (self.channels * self.ranks * self.banks_per_rank() * self.rows * self.lines_per_row) as u64
             * 64
     }
 }

@@ -458,7 +458,7 @@ mod tests {
         // First access: closed bank (ACT + CAS).
         let (_, miss_lat) = s.read64(a);
         s.advance(200); // drain the bus so the second access is unqueued
-        // Second access to the same line: open row.
+                        // Second access to the same line: open row.
         let (_, hit_lat) = s.read64(a);
         assert!(hit_lat < miss_lat, "hit {hit_lat} vs miss {miss_lat}");
     }
@@ -509,8 +509,10 @@ mod tests {
 
     #[test]
     fn trace_records_cas_commands() {
-        let mut cfg = MemorySystemConfig::default();
-        cfg.trace = true;
+        let cfg = MemorySystemConfig {
+            trace: true,
+            ..Default::default()
+        };
         let mut s = DramSystem::new(cfg);
         s.write64_tagged(PhysAddr(0x40), &[1u8; 64], 3);
         let _ = s.read64_tagged(PhysAddr(0x40), 3);
@@ -562,11 +564,19 @@ mod tests {
         s.advance(100);
         let before = s.stats().row_hits.value();
         let (_, _) = s.read64(PhysAddr(0));
-        assert_eq!(s.stats().row_hits.value(), before + 1, "row hit before refresh");
+        assert_eq!(
+            s.stats().row_hits.value(),
+            before + 1,
+            "row hit before refresh"
+        );
         s.advance(trefi + 100);
         let acts = s.stats().activates.value();
         let (_, _) = s.read64(PhysAddr(0));
-        assert_eq!(s.stats().activates.value(), acts + 1, "row reopened after refresh");
+        assert_eq!(
+            s.stats().activates.value(),
+            acts + 1,
+            "row reopened after refresh"
+        );
     }
 
     #[test]

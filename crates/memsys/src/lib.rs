@@ -98,6 +98,8 @@ pub struct FlushReport {
     pub resident: u64,
     /// Dirty lines written back to DRAM.
     pub dirty_writebacks: u64,
+    /// Dirty lines whose writeback a fault deferred (0 without faults).
+    pub deferred: u64,
     /// Total cycles consumed.
     pub cycles: u64,
 }
@@ -133,6 +135,11 @@ pub struct MemSystem {
     bg: Option<(BackgroundTraffic, DetRng)>,
     bg_acc: f64,
     bg_active: bool,
+    /// Fault injector (tests only): flush-writeback disturbances.
+    fault: Option<simkit::FaultHandle>,
+    /// Dirty lines whose writeback a fault deferred; they reach DRAM only
+    /// when [`MemSystem::drain_writebacks`] runs.
+    deferred_wb: Vec<(PhysAddr, [u8; 64])>,
 }
 
 impl std::fmt::Debug for MemSystem {
@@ -155,7 +162,33 @@ impl MemSystem {
             bg: None,
             bg_acc: 0.0,
             bg_active: false,
+            fault: None,
+            deferred_wb: Vec::new(),
         }
+    }
+
+    /// Installs a fault injector; `flush` consults it for writeback
+    /// delay/reorder disturbances.
+    pub fn set_fault_handle(&mut self, fault: simkit::FaultHandle) {
+        self.fault = Some(fault);
+    }
+
+    /// Writebacks currently stuck in the (fault-injected) write buffer.
+    pub fn deferred_writebacks(&self) -> usize {
+        self.deferred_wb.len()
+    }
+
+    /// Delivers every deferred writeback to DRAM. Returns how many were
+    /// drained.
+    pub fn drain_writebacks(&mut self) -> usize {
+        let pending = std::mem::take(&mut self.deferred_wb);
+        let n = pending.len();
+        for (addr, data) in pending {
+            let done = self.dram.write64(addr, &data);
+            self.write_backpressure(done);
+            self.dram.advance(self.cost.flush_present);
+        }
+        n
     }
 
     /// Installs (or removes) a background co-runner whose traffic is
@@ -194,9 +227,9 @@ impl MemSystem {
             // The access perturbs cache/bus/bank state but does not
             // advance the foreground's clock.
             let dram = &mut self.dram;
-            let (_, ev) = self.llc.read_line(addr, class, |a| {
-                dram.read64_tagged(a, 63).0
-            });
+            let (_, ev) = self
+                .llc
+                .read_line(addr, class, |a| dram.read64_tagged(a, 63).0);
             if let Some(wb) = ev.writeback {
                 self.dram.write64_tagged(wb.addr, &wb.data, 63);
             }
@@ -332,8 +365,18 @@ impl MemSystem {
     /// # Panics
     ///
     /// Panics if `src` or `dst` is not cacheline aligned.
-    pub fn memcpy(&mut self, dst: PhysAddr, src: PhysAddr, size: usize, class: usize, ordered: bool) {
-        assert!(src.is_line_aligned() && dst.is_line_aligned(), "memcpy alignment");
+    pub fn memcpy(
+        &mut self,
+        dst: PhysAddr,
+        src: PhysAddr,
+        size: usize,
+        class: usize,
+        ordered: bool,
+    ) {
+        assert!(
+            src.is_line_aligned() && dst.is_line_aligned(),
+            "memcpy alignment"
+        );
         let mut off = 0u64;
         while (off as usize) < size {
             let take = (size - off as usize).min(CACHELINE);
@@ -359,6 +402,40 @@ impl MemSystem {
         let start = addr.cacheline().0;
         let end = addr.0 + size as u64;
         let mut report = FlushReport::default();
+        // Fault injection may reorder this flush's writebacks or defer
+        // the tail of them into a write buffer. The un-faulted path is
+        // byte-for-byte the original inline loop.
+        let (reorder, delay) = match &self.fault {
+            Some(f) => f.writeback_faults(),
+            None => (false, 0),
+        };
+        if !reorder && delay == 0 {
+            let mut cur = start;
+            while cur < end {
+                let line = PhysAddr(cur);
+                report.lines += 1;
+                if self.llc.contains(line) {
+                    report.resident += 1;
+                    if let Some(wb) = self.llc.flush_line(line) {
+                        report.dirty_writebacks += 1;
+                        let done = self.dram.write64(wb.addr, &wb.data);
+                        self.write_backpressure(done);
+                    } else {
+                        // flush_line on a clean resident line invalidates it.
+                    }
+                    report.cycles += self.cost.flush_present;
+                    self.dram.advance(self.cost.flush_present);
+                } else {
+                    report.cycles += self.cost.flush_absent;
+                    self.dram.advance(self.cost.flush_absent);
+                }
+                cur += CACHELINE as u64;
+            }
+            return report;
+        }
+        // Disturbed path: collect the dirty writebacks first, then issue
+        // them (possibly reversed), deferring the last `delay` of them.
+        let mut writebacks: Vec<(PhysAddr, [u8; 64])> = Vec::new();
         let mut cur = start;
         while cur < end {
             let line = PhysAddr(cur);
@@ -367,10 +444,7 @@ impl MemSystem {
                 report.resident += 1;
                 if let Some(wb) = self.llc.flush_line(line) {
                     report.dirty_writebacks += 1;
-                    let done = self.dram.write64(wb.addr, &wb.data);
-                    self.write_backpressure(done);
-                } else {
-                    // flush_line on a clean resident line invalidates it.
+                    writebacks.push((wb.addr, wb.data));
                 }
                 report.cycles += self.cost.flush_present;
                 self.dram.advance(self.cost.flush_present);
@@ -380,6 +454,16 @@ impl MemSystem {
             }
             cur += CACHELINE as u64;
         }
+        if reorder {
+            writebacks.reverse();
+        }
+        let deliver = writebacks.len().saturating_sub(delay);
+        for (addr, data) in writebacks.drain(..deliver) {
+            let done = self.dram.write64(addr, &data);
+            self.write_backpressure(done);
+        }
+        report.deferred = writebacks.len() as u64;
+        self.deferred_wb.extend(writebacks);
         report
     }
 
@@ -504,7 +588,7 @@ mod tests {
     #[test]
     fn dirty_data_survives_capacity_eviction() {
         let mut m = small(); // 16 KB cache
-        // Write 64 KB: early lines must be evicted and written back.
+                             // Write 64 KB: early lines must be evicted and written back.
         for i in 0..1024u64 {
             m.store_line(PhysAddr(i * 64), [(i % 251) as u8; 64], 0);
         }
@@ -512,7 +596,10 @@ mod tests {
         for i in 0..1024u64 {
             assert_eq!(m.load_line(PhysAddr(i * 64), 0), [(i % 251) as u8; 64]);
         }
-        assert!(m.dram().stats().wr_cas.value() > 0, "evictions reached DRAM");
+        assert!(
+            m.dram().stats().wr_cas.value() > 0,
+            "evictions reached DRAM"
+        );
     }
 
     #[test]
@@ -654,7 +741,7 @@ mod tests {
     #[test]
     fn background_traffic_evicts_foreground_lines() {
         let mut m = small(); // 16 KB LLC
-        // Foreground working set: resident without background pressure.
+                             // Foreground working set: resident without background pressure.
         for i in 0..64u64 {
             m.store_line(PhysAddr(0x4000 + i * 64), [1u8; 64], 0);
         }

@@ -53,7 +53,10 @@ impl Request {
     /// Returns a static description of the malformation.
     pub fn parse(data: &[u8]) -> Result<Request, &'static str> {
         let text = std::str::from_utf8(data).map_err(|_| "not utf-8")?;
-        let head = text.split("\r\n\r\n").next().ok_or("no header terminator")?;
+        let head = text
+            .split("\r\n\r\n")
+            .next()
+            .ok_or("no header terminator")?;
         let mut lines = head.split("\r\n");
         let request_line = lines.next().ok_or("empty request")?;
         let mut parts = request_line.split(' ');

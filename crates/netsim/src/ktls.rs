@@ -147,8 +147,7 @@ pub fn run_encrypted_flow(
                     // Out-of-sequence: hardware resync + CPU fallback for
                     // the affected record.
                     resyncs += 1;
-                    let fallback =
-                        (record_bytes as f64 * cycles_per_byte / cpu_ghz).ceil() as u64;
+                    let fallback = (record_bytes as f64 * cycles_per_byte / cpu_ghz).ceil() as u64;
                     cpu_crypto_ns += fallback;
                     nic_expected_seq = seq + len as u64;
                     resync_ns + fallback
@@ -192,7 +191,10 @@ mod tests {
         // ~1 cpb at 2.8 GHz over 8 MiB ≈ 3 ms of CPU time.
         let expect = (8u64 << 20) as f64 / 2.8;
         let actual = report.cpu_crypto_ns as f64;
-        assert!((actual - expect).abs() / expect < 0.05, "{actual} vs {expect}");
+        assert!(
+            (actual - expect).abs() / expect < 0.05,
+            "{actual} vs {expect}"
+        );
     }
 
     #[test]
@@ -208,13 +210,11 @@ mod tests {
         // Fig. 2's crossover: at zero loss the NIC wins (or ties); with
         // drops the NIC's resync penalty makes it lose to the CPU.
         let size = 16u64 << 20;
-        let nic_clean =
-            run_encrypted_flow(size, &tcp(0.0, 5), TlsPlacement::smartnic_default());
+        let nic_clean = run_encrypted_flow(size, &tcp(0.0, 5), TlsPlacement::smartnic_default());
         let cpu_clean = run_encrypted_flow(size, &tcp(0.0, 5), TlsPlacement::cpu_default());
         assert!(nic_clean.goodput_gbps() >= cpu_clean.goodput_gbps() * 0.99);
 
-        let nic_lossy =
-            run_encrypted_flow(size, &tcp(0.01, 5), TlsPlacement::smartnic_default());
+        let nic_lossy = run_encrypted_flow(size, &tcp(0.01, 5), TlsPlacement::smartnic_default());
         let cpu_lossy = run_encrypted_flow(size, &tcp(0.01, 5), TlsPlacement::cpu_default());
         assert!(
             nic_lossy.goodput_gbps() < cpu_lossy.goodput_gbps(),

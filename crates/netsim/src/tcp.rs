@@ -145,10 +145,25 @@ enum Ev {
 pub fn simulate_transfer(
     total_bytes: u64,
     cfg: &TcpConfig,
+    observer: impl FnMut(&FlowEvent) -> u64,
+) -> TcpRun {
+    simulate_transfer_with_faults(total_bytes, cfg, None, observer)
+}
+
+/// [`simulate_transfer`] with an optional fault injector: armed
+/// `TcpLossBurst` events force-drop the segments whose transmission index
+/// falls inside the burst window, on top of the configured random loss.
+/// With `fault == None` the RNG draw sequence is identical to
+/// [`simulate_transfer`].
+pub fn simulate_transfer_with_faults(
+    total_bytes: u64,
+    cfg: &TcpConfig,
+    fault: Option<&simkit::FaultHandle>,
     mut observer: impl FnMut(&FlowEvent) -> u64,
 ) -> TcpRun {
     assert!(total_bytes > 0, "empty transfer");
     let mut rng = DetRng::new(cfg.seed);
+    let mut seg_counter: u64 = 0;
     let mut q: EventQueue<Ev> = EventQueue::new();
     let mut now: u64 = 0;
 
@@ -194,7 +209,12 @@ pub fn simulate_transfer(
             if $rtx {
                 run.retransmits += 1;
             }
-            if rng.gen_bool(cfg.loss_prob) {
+            // The random draw happens unconditionally so the RNG sequence
+            // matches a fault-free run of the same config and seed.
+            let random_drop = rng.gen_bool(cfg.loss_prob);
+            let forced_drop = fault.is_some_and(|f| f.tcp_force_drop(seg_counter));
+            seg_counter += 1;
+            if random_drop || forced_drop {
                 run.drops += 1;
             } else if rng.gen_bool(cfg.reorder_prob) {
                 run.reordered += 1;

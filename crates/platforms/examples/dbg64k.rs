@@ -1,5 +1,5 @@
-use platforms::*;
 use cache::CacheConfig;
+use platforms::*;
 fn main() {
     let cfg = WorkloadConfig {
         message_bytes: 65536,

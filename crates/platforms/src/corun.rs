@@ -143,11 +143,7 @@ fn server_background(
 }
 
 /// Server foreground cycles per request with optional background traffic.
-fn measure_server(
-    kind: PlatformKind,
-    cfg: &WorkloadConfig,
-    bg: Option<BackgroundTraffic>,
-) -> f64 {
+fn measure_server(kind: PlatformKind, cfg: &WorkloadConfig, bg: Option<BackgroundTraffic>) -> f64 {
     let mut host_cfg = smartdimm::HostConfig::default();
     host_cfg.mem.llc = cfg.llc;
     let mut host = CompCpyHost::new(host_cfg);
@@ -161,7 +157,11 @@ fn measure_server(
     let measure_batches = cfg.requests.div_ceil(batch);
     let mut cycles = 0u64;
     for phase in 0..2 {
-        let batches = if phase == 0 { warmup_batches } else { measure_batches };
+        let batches = if phase == 0 {
+            warmup_batches
+        } else {
+            measure_batches
+        };
         for _ in 0..batches {
             let conns: Vec<usize> = (0..batch)
                 .map(|_| rng.gen_range(0..cfg.connections as u64) as usize)

@@ -124,7 +124,11 @@ mod tests {
 
     #[test]
     fn smartdimm_wins_high_contention() {
-        for p in [PlatformKind::Cpu, PlatformKind::SmartNic, PlatformKind::QuickAssist] {
+        for p in [
+            PlatformKind::Cpu,
+            PlatformKind::SmartNic,
+            PlatformKind::QuickAssist,
+        ] {
             assert!(
                 score(PlatformKind::SmartDimm, Criterion::HighLlcContention)
                     > score(p, Criterion::HighLlcContention)

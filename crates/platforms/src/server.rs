@@ -25,7 +25,6 @@
 use cache::CacheConfig;
 use dram::PhysAddr;
 use memsys::MemSystem;
-use serde::{Deserialize, Serialize};
 use simkit::DetRng;
 use smartdimm::{CompCpyHost, HostConfig, OffloadHandle, OffloadOp};
 use ulp_compress::corpus;
@@ -86,6 +85,9 @@ pub struct WorkloadConfig {
     pub costs: CostParams,
     /// RNG seed (connection scheduling).
     pub seed: u64,
+    /// When set, a deterministic [`simkit::FaultPlan`] generated from this
+    /// seed is installed on the SmartDIMM host (tests only).
+    pub fault_seed: Option<u64>,
 }
 
 impl Default for WorkloadConfig {
@@ -100,12 +102,13 @@ impl Default for WorkloadConfig {
             llc: None,
             costs: CostParams::default(),
             seed: 1,
+            fault_seed: None,
         }
     }
 }
 
 /// Measured server metrics.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServerMetrics {
     /// Requests per second across all workers.
     pub rps: f64,
@@ -180,7 +183,9 @@ fn touch_deflate_state(host: &mut CompCpyHost, conn: usize, seed: u64, pages: us
     let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
     for _ in 0..pages {
         for i in 0..384u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let line = (x >> 33) % lines;
             let addr = PhysAddr(base + line * 64);
             if i % 3 == 2 {
@@ -427,6 +432,38 @@ impl<'a> Engine<'a> {
         fl
     }
 
+    /// Fault-injected runs only: a starved DSA (dropped S6 interception)
+    /// leaves an offload in progress, and its still-pending staged lines
+    /// would NACK the NIC's reads past the controller's retry limit.
+    /// Drain any fault-deferred writebacks and re-feed the source range
+    /// until every offload is terminal — the recovery a fault-aware
+    /// driver performs.
+    fn settle_offloads(host: &mut CompCpyHost, handles: &[OffloadHandle]) {
+        use smartdimm::configmem::OffloadStatus;
+        if host.fault_handle().is_none() {
+            return;
+        }
+        for handle in handles {
+            for _ in 0..5 {
+                let status = host.read_result(handle).status;
+                if matches!(
+                    status,
+                    OffloadStatus::Done | OffloadStatus::Incompressible | OffloadStatus::Error
+                ) {
+                    break;
+                }
+                host.mem_mut().drain_writebacks();
+                let lines = handle.size.div_ceil(64);
+                host.mem_mut().flush(handle.sbuf, lines * 64);
+                for l in 0..lines {
+                    let mut buf = [0u8; 64];
+                    host.mem_mut()
+                        .load(PhysAddr(handle.sbuf.0 + (l * 64) as u64), &mut buf, 0);
+                }
+            }
+        }
+    }
+
     fn socket_write(&mut self, host: &mut CompCpyHost, fl: &mut Inflight) {
         let m = self.cfg.message_bytes;
         let p = self.cfg.costs;
@@ -451,6 +488,7 @@ impl<'a> Engine<'a> {
                 host.mem_mut().dma_write(skb, &ct);
             }
             (UlpKind::Tls, PlatformKind::SmartDimm) => {
+                Self::settle_offloads(host, &fl.handles);
                 // USE: flush the record so the NIC reads ciphertext.
                 self.timed_cpu(host, |h| {
                     h.mem_mut().flush(rec, m.div_ceil(64) * 64);
@@ -473,6 +511,7 @@ impl<'a> Engine<'a> {
                 host.mem_mut().dma_write(skb, &out);
             }
             (UlpKind::Compression, PlatformKind::SmartDimm) => {
+                Self::settle_offloads(host, &fl.handles);
                 // USE each page and collect the compressed sizes.
                 let mut total = 0usize;
                 let handles = fl.handles.clone();
@@ -529,6 +568,10 @@ pub fn run_server(kind: PlatformKind, cfg: &WorkloadConfig) -> ServerMetrics {
     let mut host_cfg = HostConfig::default();
     host_cfg.mem.llc = cfg.llc;
     let mut host = CompCpyHost::new(host_cfg);
+    if let Some(fault_seed) = cfg.fault_seed {
+        let plan = simkit::FaultPlan::generate(fault_seed, cfg.requests as u64);
+        host.set_fault_handle(simkit::FaultHandle::new(plan));
+    }
     let mut rng = DetRng::new(cfg.seed);
     let mut engine = Engine::new(kind, cfg);
     engine.preload(&mut host);
@@ -707,6 +750,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "cannot offload")]
     fn smartnic_compression_rejected() {
-        let _ = run_server(PlatformKind::SmartNic, &quick(UlpKind::Compression, 4096, 16));
+        let _ = run_server(
+            PlatformKind::SmartNic,
+            &quick(UlpKind::Compression, 4096, 16),
+        );
     }
 }

@@ -1,0 +1,161 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Only the surface the workspace uses: `Bytes` as an immutable, cheaply
+//! clonable byte buffer with `from_static`, `copy_from_slice`, the common
+//! `From` conversions, and slice access via `Deref`/`AsRef`.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes {
+            data: Arc::new(bytes.to_vec()),
+        }
+    }
+
+    pub fn copy_from_slice(bytes: &[u8]) -> Self {
+        Bytes {
+            data: Arc::new(bytes.to_vec()),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.as_ref().clone()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: Arc::new(v) }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes {
+            data: Arc::new(s.into_bytes()),
+        }
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Bytes {
+            data: Arc::new(s.as_bytes().to_vec()),
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(b: &'static [u8]) -> Self {
+        Bytes {
+            data: Arc::new(b.to_vec()),
+        }
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.data == other.data
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.data.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.data.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.data.as_ref() == other
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.data.hash(state)
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.data.iter().take(64) {
+            if (0x20..0x7f).contains(&b) {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        if self.data.len() > 64 {
+            write!(f, "... ({} bytes)", self.data.len())?;
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_eq() {
+        let a = Bytes::from("hello".to_string());
+        let b = Bytes::from_static(b"hello");
+        let c = Bytes::copy_from_slice(b"hello");
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(&a[..], b"hello");
+        assert_eq!(a.len(), 5);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn clone_is_cheap_and_equal() {
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(b.to_vec(), vec![1, 2, 3]);
+    }
+}

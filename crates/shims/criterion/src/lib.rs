@@ -1,0 +1,184 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements enough of the API for the workspace's `harness = false`
+//! benches to compile and run: each benchmark executes a short warmup plus a
+//! fixed number of timed iterations and prints mean wall-clock time (and
+//! throughput when configured). There is no statistical analysis, HTML
+//! report, or comparison against saved baselines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("{}/{}", self.function, self.parameter)
+    }
+}
+
+pub struct Bencher {
+    /// Mean time per iteration, filled in by `iter`.
+    mean: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup, then timed loop.
+        for _ in 0..2 {
+            black_box(f());
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.mean = start.elapsed() / self.iters as u32;
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u64).max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) {
+        let mut b = Bencher {
+            mean: Duration::ZERO,
+            iters: self.sample_size.min(20).max(3),
+        };
+        f(&mut b);
+        let mut line = format!("{}/{}: {:?}/iter", self.name, label, b.mean);
+        if let Some(t) = self.throughput {
+            let secs = b.mean.as_secs_f64().max(1e-12);
+            match t {
+                Throughput::Bytes(n) => {
+                    line += &format!(" ({:.1} MiB/s)", n as f64 / secs / (1024.0 * 1024.0));
+                }
+                Throughput::Elements(n) => {
+                    line += &format!(" ({:.0} elem/s)", n as f64 / secs);
+                }
+            }
+        }
+        println!("{line}");
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, label: &str, f: F) -> &mut Self {
+        self.run(label, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.label();
+        self.run(&label, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, label: &str, f: F) -> &mut Self {
+        let mut group = BenchmarkGroup {
+            name: "bench".into(),
+            throughput: None,
+            sample_size: 10,
+            _parent: self,
+        };
+        group.run(label, f);
+        drop(group);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benches() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        group.throughput(Throughput::Bytes(1024));
+        let mut count = 0u64;
+        group.bench_function("noop", |b| b.iter(|| count += 1));
+        group.bench_with_input(BenchmarkId::new("sized", 64), &64usize, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+}

@@ -32,12 +32,14 @@
 
 pub mod clock;
 pub mod events;
+pub mod fault;
 pub mod rng;
 pub mod stats;
 pub mod trace;
 
 pub use clock::{Cycle, Freq, SimClock};
 pub use events::EventQueue;
+pub use fault::{FaultEvent, FaultHandle, FaultKind, FaultPlan, FiredFault};
 pub use rng::DetRng;
 pub use stats::{Counter, Histogram, Summary, TimeSeries};
 pub use trace::{TraceRecord, TraceSink};

@@ -3,8 +3,6 @@
 //! Every number in `EXPERIMENTS.md` is produced by one of these types, so
 //! they favour exactness and introspectability over speed.
 
-use serde::{Deserialize, Serialize};
-
 /// A named monotonic event counter.
 ///
 /// # Example
@@ -16,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// c.inc();
 /// assert_eq!(c.value(), 4);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Counter {
     name: String,
     value: u64,
@@ -74,7 +72,7 @@ impl Counter {
 /// assert_eq!(h.max(), Some(205));
 /// assert!(h.mean() > 0.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     name: String,
     bucket_width: u64,
@@ -197,7 +195,7 @@ impl Histogram {
 /// assert_eq!(s.mean(), 2.5);
 /// assert_eq!(s.percentile(50.0), 2.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Summary {
     samples: Vec<f64>,
     sorted: bool,
@@ -281,7 +279,7 @@ impl Summary {
 /// assert_eq!(ts.len(), 2);
 /// assert_eq!(ts.last(), Some((Cycle(100), 4096.0)));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimeSeries {
     name: String,
     points: Vec<(u64, f64)>,

@@ -8,7 +8,7 @@
 
 use dram::{Dimm, PhysAddr};
 use memsys::{MemConfig, MemSystem};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::configmem::{
     unpack_pending, ContextChunk, OffloadStatus, Registration, ResultSlot, StatusReg,
@@ -42,7 +42,10 @@ impl std::fmt::Display for CompCpyError {
             CompCpyError::OutOfScratchpad => write!(f, "scratchpad exhausted"),
             CompCpyError::DeviceError => write!(f, "device reported an offload error"),
             CompCpyError::SingleChannelOnly => {
-                write!(f, "non-size-preserving offloads require single-channel mapping")
+                write!(
+                    f,
+                    "non-size-preserving offloads require single-channel mapping"
+                )
             }
         }
     }
@@ -99,6 +102,9 @@ pub struct CompCpyHost {
     alloc_next: u64,
     /// Software-side counters.
     force_recycles: u64,
+    /// Fault injector (tests only); shared with the devices, the memory
+    /// system and — if the caller threads it through — the TCP model.
+    fault: Option<simkit::FaultHandle>,
 }
 
 impl std::fmt::Debug for CompCpyHost {
@@ -133,6 +139,58 @@ impl CompCpyHost {
             next_id: 1,
             alloc_next: 0x0010_0000, // driver pool starts at 1 MB
             force_recycles: 0,
+            fault: None,
+        }
+    }
+
+    /// Installs a deterministic fault injector on the host, every channel
+    /// device and the memory system. Armed events fire as offloads are
+    /// issued; see [`simkit::FaultPlan`].
+    pub fn set_fault_handle(&mut self, fault: simkit::FaultHandle) {
+        self.mem.set_fault_handle(fault.clone());
+        for channel in 0..self.channels {
+            self.device_on(channel).set_fault_handle(fault.clone());
+        }
+        self.fault = Some(fault);
+    }
+
+    /// The installed fault injector, if any.
+    pub fn fault_handle(&self) -> Option<&simkit::FaultHandle> {
+        self.fault.as_ref()
+    }
+
+    /// Advances the fault plan by one offload and applies whatever
+    /// preparation faults (translation-table pressure, scratchpad hogs)
+    /// arm at this index. Called at the top of every offload issue.
+    fn apply_armed_faults(&mut self) {
+        let Some(fault) = self.fault.clone() else {
+            return;
+        };
+        let preps = fault.begin_offload();
+        for kind in preps {
+            match kind {
+                simkit::FaultKind::XlatPressure { entries } => {
+                    for channel in 0..self.channels {
+                        self.device_on(channel).inject_xlat_pressure(entries);
+                    }
+                }
+                simkit::FaultKind::ScratchHog { pages } => {
+                    let at = self.mem.now();
+                    for channel in 0..self.channels {
+                        self.device_on(channel).inject_scratch_hog(at, pages);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Removes every injected translation-table entry and scratchpad hog
+    /// from all channel devices (fault-recovery path).
+    pub fn clear_injected_faults(&mut self) {
+        let at = self.mem.now();
+        for channel in 0..self.channels {
+            self.device_on(channel).clear_injected(at);
         }
     }
 
@@ -322,8 +380,7 @@ impl CompCpyHost {
                     let addr = self.mmio_alias(PENDING_BASE + index * 64, channel);
                     let line = self.mem.mmio_read64(addr);
                     let again = unpack_pending(&line);
-                    if let Some(rec2) =
-                        again.iter().find(|r| r.dst_page_addr == rec.dst_page_addr)
+                    if let Some(rec2) = again.iter().find(|r| r.dst_page_addr == rec.dst_page_addr)
                     {
                         for bit in 0..LINES_PER_PAGE {
                             if rec2.valid_bitmap & (1 << bit) != 0 {
@@ -400,10 +457,11 @@ impl CompCpyHost {
         if aad.len() > 7 {
             return Err(CompCpyError::BadSize);
         }
+        self.apply_armed_faults();
         let pages_needed = 1 + size / PAGE; // line 16's reservation
-        // Lines 7-17: reserve scratchpad space under the lock.
+                                            // Lines 7-17: reserve scratchpad space under the lock.
         {
-            let mut free = self.free_pages.lock();
+            let mut free = self.free_pages.lock().unwrap();
             if *free <= pages_needed as i64 {
                 // Lazy refresh from SmartDIMMConfig[0] (line 9).
                 let status = {
@@ -416,7 +474,7 @@ impl CompCpyHost {
                     drop(free);
                     self.force_recycle(pages_needed);
                     let status = self.read_status();
-                    let mut free = self.free_pages.lock();
+                    let mut free = self.free_pages.lock().unwrap();
                     *free = status.free_pages as i64;
                     if *free < pages_needed as i64 {
                         return Err(CompCpyError::OutOfScratchpad);
@@ -458,7 +516,8 @@ impl CompCpyHost {
 
         // Lines 24-31: the copy. Ordered mode fences between lines.
         let ordered = ordered || op.requires_ordered();
-        self.mem.memcpy(dbuf, sbuf, size.div_ceil(64) * 64, class, ordered);
+        self.mem
+            .memcpy(dbuf, sbuf, size.div_ceil(64) * 64, class, ordered);
 
         let mut aad_buf = [0u8; 7];
         aad_buf[..aad.len()].copy_from_slice(aad);
@@ -503,9 +562,10 @@ impl CompCpyHost {
         if !op.size_preserving() || self.channels > 1 {
             return Err(CompCpyError::SingleChannelOnly);
         }
+        self.apply_armed_faults();
         // Reserve scratchpad space exactly as CompCpy does.
         let pages_needed = 1 + size / PAGE;
-        let cached = *self.free_pages.lock();
+        let cached = *self.free_pages.lock().unwrap();
         if cached <= pages_needed as i64 {
             let status = self.read_status();
             let mut refreshed = status.free_pages as i64;
@@ -516,9 +576,9 @@ impl CompCpyHost {
                     return Err(CompCpyError::OutOfScratchpad);
                 }
             }
-            *self.free_pages.lock() = refreshed - pages_needed as i64;
+            *self.free_pages.lock().unwrap() = refreshed - pages_needed as i64;
         } else {
-            *self.free_pages.lock() = cached - pages_needed as i64;
+            *self.free_pages.lock().unwrap() = cached - pages_needed as i64;
         }
         let id = self.next_id;
         self.next_id += 1;
@@ -615,9 +675,7 @@ impl CompCpyHost {
                 pt
             }
             OffloadOp::Compress => ulp_compress::deflate::compress(&input),
-            OffloadOp::Decompress => {
-                ulp_compress::inflate::decompress(&input).unwrap_or_default()
-            }
+            OffloadOp::Decompress => ulp_compress::inflate::decompress(&input).unwrap_or_default(),
         };
         self.mem.store(dbuf, &out, class);
         out
@@ -650,7 +708,14 @@ mod tests {
         let key = [0xAA; 16];
         let iv = [0xBB; 12];
         let handle = h
-            .comp_cpy(dst, src, msg.len(), OffloadOp::TlsEncrypt { key, iv }, false, 0)
+            .comp_cpy(
+                dst,
+                src,
+                msg.len(),
+                OffloadOp::TlsEncrypt { key, iv },
+                false,
+                0,
+            )
             .unwrap();
         let ct = h.use_buffer(&handle);
         let gcm = ulp_crypto::gcm::AesGcm::new_128(&key);
@@ -700,7 +765,14 @@ mod tests {
         let dst = h.alloc_pages(2);
         h.mem_mut().store(src, &ct, 0);
         let handle = h
-            .comp_cpy(dst, src, ct.len(), OffloadOp::TlsDecrypt { key, iv }, false, 0)
+            .comp_cpy(
+                dst,
+                src,
+                ct.len(),
+                OffloadOp::TlsDecrypt { key, iv },
+                false,
+                0,
+            )
             .unwrap();
         let pt = h.use_buffer(&handle);
         assert_eq!(pt, msg);
@@ -790,7 +862,14 @@ mod tests {
             h.mem_mut().store(src, &msg, 0);
             let iv = [i as u8; 12];
             let handle = h
-                .comp_cpy(dst, src, msg.len(), OffloadOp::TlsEncrypt { key, iv }, false, 0)
+                .comp_cpy(
+                    dst,
+                    src,
+                    msg.len(),
+                    OffloadOp::TlsEncrypt { key, iv },
+                    false,
+                    0,
+                )
                 .unwrap();
             let ct = h.use_buffer(&handle);
             let gcm = ulp_crypto::gcm::AesGcm::new_128(&key);
@@ -819,7 +898,14 @@ mod tests {
             h.mem_mut().store(src, &msg, 0);
             let iv = [i as u8; 12];
             let handle = h
-                .comp_cpy(dst, src, msg.len(), OffloadOp::TlsEncrypt { key, iv }, false, 0)
+                .comp_cpy(
+                    dst,
+                    src,
+                    msg.len(),
+                    OffloadOp::TlsEncrypt { key, iv },
+                    false,
+                    0,
+                )
                 .expect("force-recycle must make room");
             // Deliberately do NOT call use_buffer (no flush-driven
             // recycling) so the scratchpad stays occupied.
@@ -844,7 +930,14 @@ mod tests {
             h.mem_mut().store(src, &msg, 0);
             let iv = [(i + 1) as u8; 12];
             let handle = h
-                .comp_cpy(dst, src, msg.len(), OffloadOp::TlsEncrypt { key, iv }, false, 0)
+                .comp_cpy(
+                    dst,
+                    src,
+                    msg.len(),
+                    OffloadOp::TlsEncrypt { key, iv },
+                    false,
+                    0,
+                )
                 .unwrap();
             handles.push((handle, iv));
             messages.push(msg);
@@ -878,7 +971,14 @@ mod tests {
             h.mem_mut().store(src, &msg, 0);
             let iv = [(i + 1) as u8; 12];
             let handle = h
-                .comp_cpy(dst, src, msg.len(), OffloadOp::TlsEncrypt { key, iv }, false, 0)
+                .comp_cpy(
+                    dst,
+                    src,
+                    msg.len(),
+                    OffloadOp::TlsEncrypt { key, iv },
+                    false,
+                    0,
+                )
                 .unwrap();
             last = Some((handle, iv, msg));
         }
@@ -899,14 +999,28 @@ mod tests {
         h.mem_mut().store(src, &msg, 0);
         let key = [8u8; 16];
         let iv = [9u8; 12];
-        let cpu_out = h.cpu_transform(dst, src, msg.len(), OffloadOp::TlsEncrypt { key, iv }, b"", 0);
+        let cpu_out = h.cpu_transform(
+            dst,
+            src,
+            msg.len(),
+            OffloadOp::TlsEncrypt { key, iv },
+            b"",
+            0,
+        );
 
         let mut h2 = host();
         let src2 = h2.alloc_pages(1);
         let dst2 = h2.alloc_pages(1);
         h2.mem_mut().store(src2, &msg, 0);
         let handle = h2
-            .comp_cpy(dst2, src2, msg.len(), OffloadOp::TlsEncrypt { key, iv }, false, 0)
+            .comp_cpy(
+                dst2,
+                src2,
+                msg.len(),
+                OffloadOp::TlsEncrypt { key, iv },
+                false,
+                0,
+            )
             .unwrap();
         assert_eq!(h2.use_buffer(&handle), cpu_out);
     }
@@ -980,7 +1094,13 @@ mod compute_dma_tests {
         let sbuf = h.alloc_pages(1);
         let dbuf = h.alloc_pages(1);
         let handle = h
-            .compute_dma(dbuf, sbuf, msg.len(), OffloadOp::TlsEncrypt { key, iv }, b"")
+            .compute_dma(
+                dbuf,
+                sbuf,
+                msg.len(),
+                OffloadOp::TlsEncrypt { key, iv },
+                b"",
+            )
             .expect("registered");
         h.mem_mut().dma_write_through(sbuf, &msg);
         let ct = h.read_dma_buffer(&handle);
@@ -1006,7 +1126,10 @@ mod compute_dma_tests {
                 PhysAddr(dbuf.0 + 64),
                 sbuf,
                 64,
-                OffloadOp::TlsEncrypt { key: [0; 16], iv: [0; 12] },
+                OffloadOp::TlsEncrypt {
+                    key: [0; 16],
+                    iv: [0; 12]
+                },
                 b""
             ),
             Err(CompCpyError::NotAligned)
@@ -1023,7 +1146,13 @@ mod compute_dma_tests {
             let msg = ulp_compress::corpus::html(4096, i);
             let iv = [(i + 1) as u8; 12];
             let handle = h
-                .compute_dma(dbuf, sbuf, msg.len(), OffloadOp::TlsEncrypt { key, iv }, b"")
+                .compute_dma(
+                    dbuf,
+                    sbuf,
+                    msg.len(),
+                    OffloadOp::TlsEncrypt { key, iv },
+                    b"",
+                )
                 .expect("registered");
             h.mem_mut().dma_write_through(sbuf, &msg);
             let ct = h.read_dma_buffer(&handle);

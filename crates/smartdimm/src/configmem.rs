@@ -312,6 +312,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn mmio_regions_do_not_overlap() {
         assert!(REGISTER_OFFSET >= STATUS_OFFSET + 64);
         assert!(CONTEXT_OFFSET >= REGISTER_OFFSET + 64);

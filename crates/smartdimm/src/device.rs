@@ -23,7 +23,7 @@ use std::any::Any;
 use std::collections::HashMap;
 
 use dram::{AddressMapper, BufferDevice, CasInfo, DramTopology, PhysAddr, RdResult, WrResult};
-use simkit::{Cycle, Histogram, TimeSeries};
+use simkit::{Cycle, FaultHandle, Histogram, TimeSeries};
 use ulp_compress::hwmodel::HwDeflateConfig;
 
 use crate::banktable::BankTable;
@@ -134,6 +134,14 @@ pub struct SmartDimmDevice {
     produce_time: HashMap<(usize, usize), Cycle>,
     /// rdCAS(sbuf) → wrCAS(dbuf) slack histogram (cycles, §IV-D).
     slack: Histogram,
+    /// Fault injector (tests only; `None` costs nothing).
+    fault: Option<FaultHandle>,
+    /// Sentinel pages holding injected translation pressure.
+    injected_xlat_pages: Vec<u64>,
+    /// Sentinel destination pages of injected scratchpad hogs.
+    injected_hog_pages: Vec<u64>,
+    /// Next free sentinel page number for injections.
+    sentinel_next: u64,
 }
 
 impl std::fmt::Debug for SmartDimmDevice {
@@ -166,6 +174,12 @@ impl SmartDimmDevice {
             stats: DeviceStats::default(),
             produce_time: HashMap::new(),
             slack: Histogram::new("smartdimm.slack_cycles", 200, 2000),
+            fault: None,
+            injected_xlat_pages: Vec::new(),
+            injected_hog_pages: Vec::new(),
+            // Sentinel pages for injected state: physical 0x3000_0000+,
+            // far above the driver pool and below the MMIO window.
+            sentinel_next: 0x30000,
             cfg,
         }
     }
@@ -200,10 +214,99 @@ impl SmartDimmDevice {
         self.xlat.stats()
     }
 
+    /// Read-only view of the translation table (oracle invariants).
+    pub fn xlat(&self) -> &crate::xlat::TranslationTable {
+        &self.xlat
+    }
+
     /// The rdCAS→wrCAS slack histogram in DDR command-clock cycles
     /// (§IV-D reports the budget exceeds 1 µs = 1600 cycles).
     pub fn slack_histogram(&self) -> &Histogram {
         &self.slack
+    }
+
+    /// Installs a fault injector. Device-side hooks (dropped S6
+    /// interceptions) consult it; the injection helpers below apply the
+    /// preparation faults the CompCpy host arms per offload.
+    pub fn set_fault_handle(&mut self, fault: FaultHandle) {
+        self.fault = Some(fault);
+    }
+
+    /// Fault injection: inserts up to `entries` dummy source
+    /// registrations (competing tenants) into the translation table.
+    /// Returns how many fit before `TableFull`.
+    pub fn inject_xlat_pressure(&mut self, entries: usize) -> usize {
+        let mut inserted = 0;
+        for _ in 0..entries {
+            let page = self.sentinel_next;
+            self.sentinel_next += 1;
+            let mapping = Mapping::Source {
+                offload: u64::MAX,
+                msg_offset: 0,
+            };
+            if self.xlat.insert(page, mapping).is_err() {
+                break;
+            }
+            self.injected_xlat_pages.push(page);
+            inserted += 1;
+        }
+        inserted
+    }
+
+    /// Fault injection: stages up to `pages` phantom scratchpad pages
+    /// (every line valid, owner never consumes them). They appear in the
+    /// pending list, so Force-Recycle can genuinely reclaim them with its
+    /// flush + explicit-write passes. Returns how many were staged.
+    pub fn inject_scratch_hog(&mut self, at: Cycle, pages: usize) -> usize {
+        let mut staged = 0;
+        for _ in 0..pages {
+            let dst_page = self.sentinel_next;
+            self.sentinel_next += 1;
+            let mask = crate::scratchpad::prefix_mask(LINES_PER_PAGE);
+            let Some(sp) = self.scratchpad.alloc(at, dst_page, mask) else {
+                break;
+            };
+            let mapping = Mapping::Dest {
+                offload: u64::MAX,
+                msg_offset: 0,
+                scratch_page: sp,
+            };
+            if self.xlat.insert(dst_page, mapping).is_err() {
+                self.scratchpad.force_free(at, sp);
+                break;
+            }
+            for line in 0..LINES_PER_PAGE {
+                self.scratchpad.produce(sp, line, [0xA5u8; 64]);
+            }
+            self.injected_hog_pages.push(dst_page);
+            staged += 1;
+        }
+        staged
+    }
+
+    /// Drains injected state that survived the offload: phantom pressure
+    /// registrations and any hog pages Force-Recycle did not reclaim
+    /// (modeling the competing tenants retiring their offloads).
+    pub fn clear_injected(&mut self, at: Cycle) {
+        for page in self.injected_xlat_pages.drain(..) {
+            self.xlat.remove(page);
+        }
+        for page in self.injected_hog_pages.drain(..) {
+            if let Some(Mapping::Dest { scratch_page, .. }) = self.xlat.peek(page) {
+                self.scratchpad.force_free(at, scratch_page);
+                self.xlat.remove(page);
+            }
+        }
+    }
+
+    /// Live injected entries (pressure registrations + unreclaimed hogs).
+    pub fn injected_entries(&self) -> usize {
+        self.injected_xlat_pages.len()
+            + self
+                .injected_hog_pages
+                .iter()
+                .filter(|&&p| self.xlat.peek(p).is_some())
+                .count()
     }
 
     fn in_config_space(&self, addr: PhysAddr) -> bool {
@@ -256,7 +359,7 @@ impl SmartDimmDevice {
                 }
                 self.results[slot]
             }
-            o if o >= PENDING_BASE && o < CONFIG_SPACE_SIZE => {
+            o if (PENDING_BASE..CONFIG_SPACE_SIZE).contains(&o) => {
                 let index = ((o - PENDING_BASE) / 64) as usize * 4;
                 let pending = self.scratchpad.pending_pages();
                 let records: Vec<PendingRecord> = pending
@@ -404,7 +507,16 @@ impl SmartDimmDevice {
             },
         );
         if src_ok.is_err() || dst_ok.is_err() {
+            // Roll back: a half-registered page pair must not leak its
+            // scratchpad page or leave a dangling translation behind.
             self.stats.xlat_failures += 1;
+            self.scratchpad.force_free(at, scratch_page);
+            if src_ok.is_ok() {
+                self.xlat.remove(reg.src_page_addr >> 12);
+            }
+            if dst_ok.is_ok() {
+                self.xlat.remove(reg.dst_page_addr >> 12);
+            }
             return;
         }
         let off = self.offloads.get_mut(&reg.offload_id).expect("offload");
@@ -542,7 +654,10 @@ impl BufferDevice for SmartDimmDevice {
         let page = phys.page();
         match self.xlat.lookup(page) {
             None => RdResult::Data(*dram_data), // S4: regular DIMM
-            Some(Mapping::Source { offload, msg_offset }) => {
+            Some(Mapping::Source {
+                offload,
+                msg_offset,
+            }) => {
                 // S6: feed the DSA, stage results, pass data through.
                 let line_in_page = ((phys.0 & 0xFFF) / 64) as usize;
                 let byte_offset = msg_offset + line_in_page * 64;
@@ -559,6 +674,14 @@ impl BufferDevice for SmartDimmDevice {
                 let line_index = byte_offset / 64;
                 if off.processed[line_index] {
                     return RdResult::Data(*dram_data); // repeat read
+                }
+                if let Some(f) = &self.fault {
+                    // Injected interception miss: the arbiter fails to feed
+                    // this line. `processed` stays clear, so a host re-read
+                    // of the source range recovers the offload.
+                    if f.drop_source_feed(line_index) {
+                        return RdResult::Data(*dram_data);
+                    }
                 }
                 off.processed[line_index] = true;
                 let valid = (off.msg_len - byte_offset).min(64);
@@ -612,7 +735,10 @@ impl BufferDevice for SmartDimmDevice {
         let page = phys.page();
         match self.xlat.lookup(page) {
             None => WrResult::Commit(*host_data),
-            Some(Mapping::Source { offload, msg_offset }) => {
+            Some(Mapping::Source {
+                offload,
+                msg_offset,
+            }) => {
                 // Compute DMA (§IV-E): a write into a registered source
                 // range feeds the DSA as the device DMAs the data in; the
                 // data also commits to DRAM as a normal write.
@@ -657,8 +783,16 @@ impl BufferDevice for SmartDimmDevice {
                             self.slack.record(info.at.saturating_since(t0));
                         }
                         if freed {
-                            let page_index = msg_offset / PAGE;
-                            self.cleanup_dst_page(offload, page_index);
+                            // Remove the translation by page, not through
+                            // the offload record: pages staged without a
+                            // live offload (injected hogs, races with
+                            // supersede) must not orphan their entry.
+                            self.xlat.remove(page);
+                            if let Some(off) = self.offloads.get_mut(&offload) {
+                                let page_index = msg_offset / PAGE;
+                                off.dst_phys[page_index] = None;
+                                off.dst_scratch[page_index] = None;
+                            }
                             self.maybe_drop_offload(offload);
                         }
                         WrResult::Commit(data)
@@ -682,7 +816,6 @@ impl BufferDevice for SmartDimmDevice {
 #[cfg(test)]
 mod tests {
     use super::*;
-
 
     fn mk_info(mapper: &AddressMapper, addr: PhysAddr, at: Cycle) -> CasInfo {
         let loc = mapper.decode(addr);
@@ -728,10 +861,7 @@ mod tests {
             offload_id: 1,
             payload: OffloadOp::Compress.encode_context(64, b""),
         };
-        assert_eq!(
-            dev.on_wr_cas(&info, &chunk.to_bytes()),
-            WrResult::Ignore
-        );
+        assert_eq!(dev.on_wr_cas(&info, &chunk.to_bytes()), WrResult::Ignore);
         assert_eq!(dev.stats().mmio_writes, 1);
     }
 
@@ -879,8 +1009,10 @@ mod tests {
 
     #[test]
     fn alloc_failure_counted_when_scratchpad_full() {
-        let mut cfg = SmartDimmConfig::default();
-        cfg.scratchpad_pages = 1;
+        let cfg = SmartDimmConfig {
+            scratchpad_pages: 1,
+            ..Default::default()
+        };
         let mut dev = SmartDimmDevice::new(cfg);
         let base = dev.cfg.config_base.0;
         for id in 0..2u64 {

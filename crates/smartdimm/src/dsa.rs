@@ -10,8 +10,8 @@
 //! is why compression destination lines can see premature writebacks
 //! (S7) that the Scratchpad ignores.
 
-use ulp_crypto::gcm::{AesGcm, Direction, OooGcm};
 use ulp_compress::hwmodel::{HwCompressor, HwDeflateConfig};
+use ulp_crypto::gcm::{AesGcm, Direction, OooGcm};
 
 use crate::configmem::OffloadStatus;
 
@@ -142,7 +142,10 @@ impl OffloadOp {
     /// Whether the transformation preserves message size (drives how many
     /// destination lines are expected per page).
     pub fn size_preserving(&self) -> bool {
-        matches!(self, OffloadOp::TlsEncrypt { .. } | OffloadOp::TlsDecrypt { .. })
+        matches!(
+            self,
+            OffloadOp::TlsEncrypt { .. } | OffloadOp::TlsDecrypt { .. }
+        )
     }
 }
 
@@ -417,9 +420,17 @@ mod tests {
 
     #[test]
     fn ordering_requirements() {
-        assert!(!OffloadOp::TlsEncrypt { key: [0; 16], iv: [0; 12] }.requires_ordered());
+        assert!(!OffloadOp::TlsEncrypt {
+            key: [0; 16],
+            iv: [0; 12]
+        }
+        .requires_ordered());
         assert!(OffloadOp::Compress.requires_ordered());
-        assert!(OffloadOp::TlsDecrypt { key: [0; 16], iv: [0; 12] }.size_preserving());
+        assert!(OffloadOp::TlsDecrypt {
+            key: [0; 16],
+            iv: [0; 12]
+        }
+        .size_preserving());
         assert!(!OffloadOp::Decompress.size_preserving());
     }
 
@@ -543,7 +554,7 @@ mod tests {
 
     #[test]
     fn decompress_dsa_corrupt_stream_errors() {
-        let garbage = vec![0xFFu8; 128];
+        let garbage = [0xFFu8; 128];
         let mut dsa = DsaInstance::new(
             OffloadOp::Decompress,
             garbage.len(),

@@ -59,6 +59,7 @@ pub mod compcpy;
 pub mod configmem;
 pub mod device;
 pub mod dsa;
+pub mod oracle;
 pub mod policy;
 pub mod scratchpad;
 pub mod xlat;
@@ -66,6 +67,7 @@ pub mod xlat;
 pub use compcpy::{CompCpyError, CompCpyHost, HostConfig, OffloadHandle};
 pub use device::{DeviceStats, SmartDimmConfig, SmartDimmDevice};
 pub use dsa::OffloadOp;
+pub use oracle::{FaultOracle, Recovery, ScenarioOutcome};
 pub use policy::{AdaptivePolicy, Placement};
 
 /// OS page size — the registration granularity (§IV-A).

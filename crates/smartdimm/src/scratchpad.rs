@@ -149,12 +149,7 @@ impl Scratchpad {
         }
         // Time may not advance between consecutive events; TimeSeries
         // requires monotonic stamps, which Cycle equality satisfies.
-        if self
-            .occupancy
-            .last()
-            .map(|(t, _)| t <= at)
-            .unwrap_or(true)
-        {
+        if self.occupancy.last().map(|(t, _)| t <= at).unwrap_or(true) {
             self.occupancy.record(at, bytes as f64);
         }
     }

@@ -127,6 +127,17 @@ impl TranslationTable {
         self.slots.iter().filter(|s| s.is_some()).count() as f64 / self.slots.len() as f64
     }
 
+    /// Every mapped page number (cuckoo + stash), in unspecified order.
+    /// Used by the differential oracle to diagnose leaked entries.
+    pub fn pages(&self) -> Vec<u64> {
+        self.slots
+            .iter()
+            .flatten()
+            .map(|e| e.page)
+            .chain(self.stash.iter().map(|e| e.page))
+            .collect()
+    }
+
     fn hash(&self, page: u64, way: usize) -> usize {
         // Three independent mix functions (SplitMix-style finalizers with
         // different constants), reduced onto the slot array.
@@ -215,13 +226,19 @@ impl TranslationTable {
                 return Ok(());
             }
         }
-        // Cuckoo displacement chain.
+        // Cuckoo displacement chain. Each step is recorded so a failed
+        // insertion can unwind: without the unwind, failure would leave
+        // the new entry resident and silently drop the final evicted
+        // victim — corrupting the table exactly when it is under the most
+        // pressure.
+        let mut chain: Vec<(usize, Entry)> = Vec::new();
         let mut cur = Entry { page, mapping };
         let mut way = 0usize;
         for kick in 0..self.max_kicks {
             let idx = self.hash(cur.page, way);
             let evicted = self.slots[idx].replace(cur).expect("occupied slot");
             self.stats.displacements += 1;
+            chain.push((idx, evicted));
             cur = evicted;
             // Find an empty way for the evicted entry.
             let mut placed = false;
@@ -246,6 +263,12 @@ impl TranslationTable {
             self.stats.stash_spills += 1;
             Ok(())
         } else {
+            // Unwind the displacement chain so failure is atomic: every
+            // pre-existing entry returns to its slot and the would-be new
+            // entry is the only one left out.
+            for (idx, evicted) in chain.into_iter().rev() {
+                self.slots[idx] = Some(evicted);
+            }
             self.stats.failures += 1;
             Err(TableFull)
         }
@@ -326,7 +349,10 @@ mod tests {
                 break;
             }
         }
-        assert!(failed, "a 12-slot table + 2-entry stash cannot hold 20 entries");
+        assert!(
+            failed,
+            "a 12-slot table + 2-entry stash cannot hold 20 entries"
+        );
         assert!(t.stats().failures > 0);
     }
 

@@ -19,8 +19,11 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (64usize..12_000, any::<u64>()).prop_map(|(size, seed)| Op::TlsEncrypt { size, seed }),
         (64usize..12_000, any::<u64>()).prop_map(|(size, seed)| Op::TlsDecrypt { size, seed }),
-        (64usize..4096, any::<u64>(), 0u8..3)
-            .prop_map(|(size, seed, kind)| Op::Compress { size, seed, kind }),
+        (64usize..4096, any::<u64>(), 0u8..3).prop_map(|(size, seed, kind)| Op::Compress {
+            size,
+            seed,
+            kind
+        }),
         any::<u64>().prop_map(|seed| Op::Decompress { seed }),
     ]
 }
@@ -64,7 +67,14 @@ fn run_sequence(host: &mut CompCpyHost, ops: &[Op]) {
                 let dst = host.alloc_pages(pages);
                 host.mem_mut().store(src, &ct, 0);
                 let handle = host
-                    .comp_cpy(dst, src, ct.len(), OffloadOp::TlsDecrypt { key, iv }, false, 0)
+                    .comp_cpy(
+                        dst,
+                        src,
+                        ct.len(),
+                        OffloadOp::TlsDecrypt { key, iv },
+                        false,
+                        0,
+                    )
                     .expect("accepted");
                 assert_eq!(host.use_buffer(&handle), msg, "op {i}: {op:?}");
             }

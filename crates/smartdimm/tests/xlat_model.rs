@@ -1,0 +1,160 @@
+//! Model-based tests for the Translation Table: a `HashMap` plays the
+//! reference model while random insert/remove/lookup sequences run
+//! against the 3-ary cuckoo table — including a deliberately tiny table
+//! where the CAM stash overflows and insertions fail with `TableFull`.
+//!
+//! The atomicity property matters to the fault-injection suite: a failed
+//! insert must leave the table exactly as it was, or the CompCpy
+//! registration rollback leaks entries whose offload never existed
+//! (observed as a `stage_outputs` panic under translation pressure).
+
+use proptest::prelude::*;
+use smartdimm::xlat::{Mapping, TranslationTable};
+
+fn src(offload: u64) -> Mapping {
+    Mapping::Source {
+        offload,
+        msg_offset: 0,
+    }
+}
+
+fn dst(offload: u64, scratch_page: usize) -> Mapping {
+    Mapping::Dest {
+        offload,
+        msg_offset: 0,
+        scratch_page,
+    }
+}
+
+/// Sorted snapshot of every page resident in the table.
+fn snapshot(t: &TranslationTable) -> Vec<u64> {
+    let mut pages = t.pages();
+    pages.sort_unstable();
+    pages
+}
+
+proptest! {
+    #[test]
+    fn prop_small_table_matches_model_through_failures(
+        ops in proptest::collection::vec((0u64..64, 0u64..4), 1..300),
+    ) {
+        // 12 slots + 2-entry stash: dense enough that TableFull really
+        // happens. The model only records inserts the table accepted.
+        use std::collections::HashMap;
+        let mut t = TranslationTable::new(12, 2);
+        let mut model: HashMap<u64, Mapping> = HashMap::new();
+        for (page, op) in ops {
+            match op {
+                0 => {
+                    let m = src(page + 1000);
+                    let before = snapshot(&t);
+                    match t.insert(page, m) {
+                        Ok(()) => { model.insert(page, m); }
+                        Err(_) => {
+                            // Atomicity: a failed insert changes nothing.
+                            prop_assert_eq!(snapshot(&t), before);
+                        }
+                    }
+                }
+                1 => {
+                    let m = dst(page + 2000, (page % 8) as usize);
+                    let before = snapshot(&t);
+                    match t.insert(page, m) {
+                        Ok(()) => { model.insert(page, m); }
+                        Err(_) => {
+                            prop_assert_eq!(snapshot(&t), before);
+                        }
+                    }
+                }
+                2 => {
+                    prop_assert_eq!(t.remove(page), model.remove(&page));
+                }
+                _ => {
+                    prop_assert_eq!(t.lookup(page), model.get(&page).copied());
+                }
+            }
+            prop_assert_eq!(t.len(), model.len());
+        }
+        // Every model entry is still findable without mutation.
+        for (page, mapping) in &model {
+            prop_assert_eq!(t.peek(*page), Some(*mapping));
+        }
+    }
+
+    #[test]
+    fn prop_below_third_occupancy_inserts_never_fail(
+        seed_pages in proptest::collection::vec(any::<u64>(), 1..96),
+    ) {
+        // The paper sizes the table 3x so sub-33% occupancy effectively
+        // never fails; with the 8-entry stash that is a hard guarantee
+        // at this scale.
+        let mut t = TranslationTable::new(300, 8);
+        let mut unique = seed_pages;
+        unique.sort_unstable();
+        unique.dedup();
+        for &page in &unique {
+            prop_assert!(t.insert(page, src(page)).is_ok(), "insert of {page} failed below bound");
+        }
+        prop_assert!(t.occupancy() < 0.33);
+        for &page in &unique {
+            prop_assert_eq!(t.peek(page), Some(src(page)));
+        }
+    }
+}
+
+#[test]
+fn stash_overflow_reports_table_full() {
+    // 3 slots + 2-entry stash = at most 5 resident entries; the 6th
+    // insert (of distinct pages) must fail with TableFull.
+    let mut t = TranslationTable::new(3, 2);
+    let mut inserted = Vec::new();
+    let mut failed_at = None;
+    for page in 0..32u64 {
+        match t.insert(page, src(page)) {
+            Ok(()) => inserted.push(page),
+            Err(e) => {
+                assert_eq!(e.to_string(), "translation table and CAM stash are full");
+                failed_at = Some(page);
+                break;
+            }
+        }
+    }
+    let failed_at = failed_at.expect("a 5-entry structure cannot hold 32 pages");
+    assert!(
+        inserted.len() <= 5,
+        "{} entries in 5 places",
+        inserted.len()
+    );
+    assert!(t.stats().failures >= 1);
+    assert!(t.stats().stash_spills >= 1, "the stash was never exercised");
+    // The failed insert left every prior entry intact and findable.
+    for &page in &inserted {
+        assert_eq!(t.peek(page), Some(src(page)), "page {page} lost on failure");
+    }
+    assert_eq!(t.peek(failed_at), None, "failed insert left a residue");
+    assert_eq!(t.len(), inserted.len());
+}
+
+#[test]
+fn failed_insert_unwinds_displacement_chain() {
+    // Regression for the cuckoo unwind: fill a stash-less table until an
+    // insert fails, then verify no resident entry was swapped out by the
+    // abandoned displacement chain.
+    let mut t = TranslationTable::new(9, 0);
+    let mut resident = Vec::new();
+    let mut probe = 0u64;
+    while t.insert(probe, src(probe)).is_ok() {
+        resident.push(probe);
+        probe += 1;
+        assert!(probe < 10_000, "table never filled");
+    }
+    for &page in &resident {
+        assert_eq!(
+            t.peek(page),
+            Some(src(page)),
+            "page {page} evicted by a failed insert's displacement chain"
+        );
+    }
+    assert_eq!(t.peek(probe), None);
+    assert_eq!(t.len(), resident.len());
+}

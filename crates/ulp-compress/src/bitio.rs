@@ -133,7 +133,7 @@ impl<'a> BitReader<'a> {
         if self.nbits < n {
             return Err(DecodeError::UnexpectedEof);
         }
-        let v = (self.acc & ((1u64 << n) - 1).max(0)) as u32;
+        let v = (self.acc & ((1u64 << n) - 1)) as u32;
         let v = if n == 0 { 0 } else { v };
         self.acc >>= n;
         self.nbits -= n;

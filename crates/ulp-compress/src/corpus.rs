@@ -9,10 +9,42 @@
 use simkit::DetRng;
 
 const WORDS: &[&str] = &[
-    "the", "quick", "server", "request", "response", "memory", "cache", "protocol", "network",
-    "stream", "packet", "buffer", "page", "table", "offload", "channel", "latency", "bandwidth",
-    "record", "cipher", "window", "match", "symbol", "encode", "transfer", "datacenter", "system",
-    "kernel", "socket", "thread", "copy", "flush", "device", "module", "accelerate", "compress",
+    "the",
+    "quick",
+    "server",
+    "request",
+    "response",
+    "memory",
+    "cache",
+    "protocol",
+    "network",
+    "stream",
+    "packet",
+    "buffer",
+    "page",
+    "table",
+    "offload",
+    "channel",
+    "latency",
+    "bandwidth",
+    "record",
+    "cipher",
+    "window",
+    "match",
+    "symbol",
+    "encode",
+    "transfer",
+    "datacenter",
+    "system",
+    "kernel",
+    "socket",
+    "thread",
+    "copy",
+    "flush",
+    "device",
+    "module",
+    "accelerate",
+    "compress",
 ];
 
 /// English-like text of exactly `size` bytes.
@@ -113,7 +145,13 @@ pub enum Kind {
 
 impl Kind {
     /// Every corpus kind, for exhaustive sweeps.
-    pub const ALL: [Kind; 5] = [Kind::Text, Kind::Html, Kind::Json, Kind::Random, Kind::Zeros];
+    pub const ALL: [Kind; 5] = [
+        Kind::Text,
+        Kind::Html,
+        Kind::Json,
+        Kind::Random,
+        Kind::Zeros,
+    ];
 
     /// Generates `size` bytes of this kind.
     pub fn generate(self, size: usize, seed: u64) -> Vec<u8> {

@@ -8,9 +8,7 @@
 //! design choice of §V-B.
 
 use crate::bitio::BitWriter;
-use crate::huffman::{
-    build_lengths, fixed_distance_lengths, fixed_literal_lengths, CanonicalCode,
-};
+use crate::huffman::{build_lengths, fixed_distance_lengths, fixed_literal_lengths, CanonicalCode};
 use crate::lz77::{self, distance_to_symbol, length_to_symbol, MatcherConfig, Token};
 
 /// Which Deflate block type to emit.
@@ -151,8 +149,7 @@ pub(crate) fn write_fixed_block(w: &mut BitWriter, tokens: &[Token], is_final: b
     w.write_bits(is_final as u32, 1);
     w.write_bits(0b01, 2);
     let lit = CanonicalCode::from_lengths(&fixed_literal_lengths()).expect("fixed literal code");
-    let dist =
-        CanonicalCode::from_lengths(&fixed_distance_lengths()).expect("fixed distance code");
+    let dist = CanonicalCode::from_lengths(&fixed_distance_lengths()).expect("fixed distance code");
     write_token_stream(w, tokens, &lit, &dist);
 }
 
@@ -327,9 +324,8 @@ mod tests {
 
     #[test]
     fn dynamic_round_trip() {
-        let data =
-            b"dynamic blocks build a bespoke code from symbol frequencies; frequencies vary"
-                .repeat(8);
+        let data = b"dynamic blocks build a bespoke code from symbol frequencies; frequencies vary"
+            .repeat(8);
         let out = compress_with(&data, MatcherConfig::default(), Strategy::Dynamic);
         assert!(out.len() < data.len());
         assert_eq!(decompress(&out).unwrap(), data);
@@ -387,7 +383,7 @@ mod tests {
     fn rle_round_trips_through_expansion() {
         let lengths: Vec<u8> = vec![0, 0, 0, 0, 3, 3, 3, 3, 3, 3, 3, 0, 7, 7, 0, 0, 0]
             .into_iter()
-            .chain(std::iter::repeat(4).take(20))
+            .chain(std::iter::repeat_n(4, 20))
             .collect();
         let rle = rle_code_lengths(&lengths);
         // Expand back.
@@ -401,8 +397,8 @@ mod tests {
                         expanded.push(prev);
                     }
                 }
-                17 => expanded.extend(std::iter::repeat(0).take(val as usize + 3)),
-                18 => expanded.extend(std::iter::repeat(0).take(val as usize + 11)),
+                17 => expanded.extend(std::iter::repeat_n(0, val as usize + 3)),
+                18 => expanded.extend(std::iter::repeat_n(0, val as usize + 11)),
                 _ => unreachable!(),
             }
         }

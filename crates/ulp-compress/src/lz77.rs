@@ -206,7 +206,7 @@ fn hash3(data: &[u8], pos: usize) -> usize {
 /// assert_eq!(expand_tokens(&tokens), data);
 /// ```
 pub fn tokenize(data: &[u8], config: MatcherConfig) -> Vec<Token> {
-    let window = config.window.min(MAX_DISTANCE).max(1);
+    let window = config.window.clamp(1, MAX_DISTANCE);
     let mut tokens = Vec::new();
     if data.is_empty() {
         return tokens;
@@ -214,10 +214,7 @@ pub fn tokenize(data: &[u8], config: MatcherConfig) -> Vec<Token> {
     let mut head = vec![usize::MAX; HASH_SIZE];
     let mut chain = vec![usize::MAX; data.len()];
 
-    let find_match = |head: &[usize],
-                      chain: &[usize],
-                      pos: usize|
-     -> Option<(usize, usize)> {
+    let find_match = |head: &[usize], chain: &[usize], pos: usize| -> Option<(usize, usize)> {
         if pos + MIN_MATCH > data.len() {
             return None;
         }
@@ -396,7 +393,7 @@ mod tests {
     fn tokenize_respects_window() {
         // Repeat is farther away than the window: must not match.
         let mut data = b"uniqueprefix".to_vec();
-        data.extend(std::iter::repeat(0u8).take(300));
+        data.extend(std::iter::repeat_n(0u8, 300));
         data.extend_from_slice(b"uniqueprefix");
         let tokens = tokenize(
             &data,

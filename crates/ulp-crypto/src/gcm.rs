@@ -115,20 +115,24 @@ impl AesGcm {
     /// Panics if `offset` is not 16-byte aligned (partial-block starts are
     /// not needed anywhere in the stack and would complicate the DSA).
     pub fn xor_keystream(&self, iv: &[u8; IV_LEN], offset: usize, data: &mut [u8]) {
-        assert!(offset % 16 == 0, "offset must be block aligned");
-        let mut block_index = (offset / 16) as u32;
-        for chunk in data.chunks_mut(16) {
+        assert!(offset.is_multiple_of(16), "offset must be block aligned");
+        let first_block = (offset / 16) as u32;
+        for (block_index, chunk) in (first_block..).zip(data.chunks_mut(16)) {
             let ks = self.keystream_block(iv, block_index);
             for (b, k) in chunk.iter_mut().zip(ks.iter()) {
                 *b ^= k;
             }
-            block_index += 1;
         }
     }
 
     /// Encrypts `plaintext` with associated data `aad`, returning the
     /// ciphertext and authentication tag.
-    pub fn seal(&self, iv: &[u8; IV_LEN], aad: &[u8], plaintext: &[u8]) -> (Vec<u8>, [u8; TAG_LEN]) {
+    pub fn seal(
+        &self,
+        iv: &[u8; IV_LEN],
+        aad: &[u8],
+        plaintext: &[u8],
+    ) -> (Vec<u8>, [u8; TAG_LEN]) {
         let mut ct = plaintext.to_vec();
         self.xor_keystream(iv, 0, &mut ct);
         let tag = self.compute_tag(iv, aad, &ct);
@@ -314,7 +318,10 @@ impl OooGcm {
     /// bytes, or the cacheline does not end exactly at the message end
     /// when shorter than 64 bytes.
     pub fn process_cacheline(&mut self, offset: usize, input: &[u8]) -> Vec<u8> {
-        assert!(offset % CACHELINE == 0, "cacheline offset must be aligned");
+        assert!(
+            offset.is_multiple_of(CACHELINE),
+            "cacheline offset must be aligned"
+        );
         assert!(input.len() <= CACHELINE, "input exceeds a cacheline");
         assert!(
             offset + input.len() == self.msg_len || input.len() == CACHELINE,

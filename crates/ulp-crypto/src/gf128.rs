@@ -64,6 +64,7 @@ impl Add for Gf128 {
     type Output = Gf128;
     /// Addition in GF(2^128) is XOR.
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn add(self, rhs: Gf128) -> Gf128 {
         Gf128(self.0 ^ rhs.0)
     }
@@ -128,10 +129,7 @@ mod tests {
         len_block[8..].copy_from_slice(&(128u64).to_be_bytes());
         let len = Gf128::from_bytes(&len_block);
         let ghash = (c1 * h + len) * h;
-        assert_eq!(
-            ghash.to_bytes(),
-            hex16("f38cbb1ad69223dcc3457ae5b6b0f885")
-        );
+        assert_eq!(ghash.to_bytes(), hex16("f38cbb1ad69223dcc3457ae5b6b0f885"));
     }
 
     #[test]

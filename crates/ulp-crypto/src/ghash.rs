@@ -253,9 +253,7 @@ mod tests {
         let orders: Vec<Vec<usize>> = vec![
             (0..blocks.len()).collect(),
             (0..blocks.len()).rev().collect(),
-            (0..blocks.len())
-                .map(|i| (i * 7) % blocks.len())
-                .collect(),
+            (0..blocks.len()).map(|i| (i * 7) % blocks.len()).collect(),
         ];
         for order in orders {
             let mut ooo = OooGhash::new(blocks.len());

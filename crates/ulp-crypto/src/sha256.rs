@@ -282,7 +282,11 @@ mod tests {
     fn hmac_long_key_is_hashed() {
         let key = [0xaa; 131];
         assert_eq!(
-            hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First").to_vec(),
+            hmac_sha256(
+                &key,
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            )
+            .to_vec(),
             hex("60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54")
         );
     }

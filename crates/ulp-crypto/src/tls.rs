@@ -243,7 +243,10 @@ impl RecordLayer {
         if payload.is_empty() {
             return Ok(vec![self.encrypt(b"")?]);
         }
-        payload.chunks(MAX_PLAINTEXT).map(|c| self.encrypt(c)).collect()
+        payload
+            .chunks(MAX_PLAINTEXT)
+            .map(|c| self.encrypt(c))
+            .collect()
     }
 }
 

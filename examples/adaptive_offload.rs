@@ -65,13 +65,27 @@ fn main() {
             Placement::SmartDimm => {
                 offloaded += 1;
                 let handle = host
-                    .comp_cpy(dst, src, msg.len(), OffloadOp::TlsEncrypt { key, iv }, false, 0)
+                    .comp_cpy(
+                        dst,
+                        src,
+                        msg.len(),
+                        OffloadOp::TlsEncrypt { key, iv },
+                        false,
+                        0,
+                    )
                     .expect("offload accepted");
                 host.use_buffer(&handle)
             }
             Placement::Cpu => {
                 on_cpu += 1;
-                host.cpu_transform(dst, src, msg.len(), OffloadOp::TlsEncrypt { key, iv }, b"", 0)
+                host.cpu_transform(
+                    dst,
+                    src,
+                    msg.len(),
+                    OffloadOp::TlsEncrypt { key, iv },
+                    b"",
+                    0,
+                )
             }
         };
         // Either path must produce identical bytes.
@@ -82,7 +96,11 @@ fn main() {
             println!(
                 "{:>6} {:>12} {:>12.3} {:>11}",
                 i,
-                if high_contention { "contended" } else { "quiet" },
+                if high_contention {
+                    "contended"
+                } else {
+                    "quiet"
+                },
                 miss_rate,
                 format!("{placement:?}")
             );
@@ -94,5 +112,8 @@ fn main() {
         offloaded,
         policy.switches()
     );
-    assert!(offloaded > 0 && on_cpu > 0, "the policy must use both placements");
+    assert!(
+        offloaded > 0 && on_cpu > 0,
+        "the policy must use both placements"
+    );
 }

@@ -15,7 +15,10 @@ fn main() {
     // one CompCpy per page (§V-C), each page written to the socket
     // individually.
     let body = corpus::html(16 * 1024, 7);
-    println!("compressing a {} byte response page-by-page on SmartDIMM:", body.len());
+    println!(
+        "compressing a {} byte response page-by-page on SmartDIMM:",
+        body.len()
+    );
     let mut total_out = 0usize;
     for (pg, page) in body.chunks(4096).enumerate() {
         let src = host.alloc_pages(1);
@@ -53,7 +56,10 @@ fn main() {
         .expect("offload accepted");
     let out = host.use_buffer(&handle);
     let status = host.read_result(&handle).status;
-    println!("incompressible page: status {status:?}, output {} bytes (raw)", out.len());
+    println!(
+        "incompressible page: status {status:?}, output {} bytes (raw)",
+        out.len()
+    );
     assert_eq!(out, noise);
 
     // Decompression direction: inflate a compressed page near memory.

@@ -25,7 +25,13 @@ fn main() {
     let sbuf = host.alloc_pages(2);
     let dbuf = host.alloc_pages(2);
     let handle = host
-        .compute_dma(dbuf, sbuf, ciphertext.len(), OffloadOp::TlsDecrypt { key, iv }, b"")
+        .compute_dma(
+            dbuf,
+            sbuf,
+            ciphertext.len(),
+            OffloadOp::TlsDecrypt { key, iv },
+            b"",
+        )
         .expect("registered");
     // The "NIC": DMA the ciphertext straight through the LLC into DRAM.
     host.mem_mut().dma_write_through(sbuf, &ciphertext);
@@ -54,7 +60,14 @@ fn main() {
     host.mem_mut().store(src, &msg, 0);
     let iv2 = [0x22u8; 12];
     let handle = host
-        .comp_cpy(dst, src, msg.len(), OffloadOp::TlsEncrypt { key, iv: iv2 }, false, 0)
+        .comp_cpy(
+            dst,
+            src,
+            msg.len(),
+            OffloadOp::TlsEncrypt { key, iv: iv2 },
+            false,
+            0,
+        )
         .expect("offload accepted");
     let ct = host.use_buffer(&handle);
     let combined_tag = host.tag(&handle).expect("host-combined tag");

@@ -26,12 +26,19 @@ fn main() {
     let body = ulp_compress::corpus::html(4096, 1);
     let response = Response::ok(body).to_bytes();
     let mut received = Vec::new();
-    for rec in server_tx.encrypt_stream(&response).expect("encrypt response") {
+    for rec in server_tx
+        .encrypt_stream(&response)
+        .expect("encrypt response")
+    {
         let (_, part) = client_rx.decrypt(&rec).expect("decrypt response");
         received.extend(part);
     }
     let resp = Response::parse(&received).expect("parse response");
-    println!("client received: HTTP {} ({} body bytes)\n", resp.status, resp.body.len());
+    println!(
+        "client received: HTTP {} ({} body bytes)\n",
+        resp.status,
+        resp.body.len()
+    );
 
     // 2. The paper's comparison: where should the TLS work run?
     let cfg = WorkloadConfig {

@@ -23,7 +23,14 @@ fn main() {
     let key = [0x42u8; 16];
     let iv = [0x07u8; 12];
     let handle = host
-        .comp_cpy(dbuf, sbuf, message.len(), OffloadOp::TlsEncrypt { key, iv }, false, 0)
+        .comp_cpy(
+            dbuf,
+            sbuf,
+            message.len(),
+            OffloadOp::TlsEncrypt { key, iv },
+            false,
+            0,
+        )
         .expect("offload accepted");
 
     // USE: flush dbuf (self-recycling the Scratchpad) and read the result.

@@ -58,6 +58,53 @@ fn server_harness_is_deterministic() {
 }
 
 #[test]
+fn fault_injected_server_runs_are_deterministic() {
+    // The fault-injection subsystem must not cost reproducibility: the
+    // same fault seed yields the identical metrics, for both ULPs.
+    for ulp in [UlpKind::Tls, UlpKind::Compression] {
+        let cfg = WorkloadConfig {
+            message_bytes: 4096,
+            connections: 32,
+            requests: 80,
+            ulp,
+            llc: Some(CacheConfig::mb(1, 16)),
+            fault_seed: Some(29),
+            ..WorkloadConfig::default()
+        };
+        let a = run_server(PlatformKind::SmartDimm, &cfg);
+        let b = run_server(PlatformKind::SmartDimm, &cfg);
+        assert_eq!(a, b, "fault-injected {ulp:?} run diverged between replays");
+    }
+}
+
+#[test]
+fn fault_injected_oracle_traces_are_deterministic() {
+    use simkit::FaultPlan;
+    use smartdimm::FaultOracle;
+    let run = |seed: u64| {
+        let plan = FaultPlan::generate(seed, 4);
+        let mut oracle = FaultOracle::new(HostConfig::default(), plan);
+        let key = [9u8; 16];
+        for i in 0..4u64 {
+            let msg = ulp_compress::corpus::text(3000 + i as usize * 100, seed ^ i);
+            let iv = [i as u8; 12];
+            oracle.check(OffloadOp::TlsEncrypt { key, iv }, &msg, b"rec");
+        }
+        let mut trace = oracle.fired_log();
+        trace.extend(oracle.recoveries().iter().map(|r| format!("{r:?}")));
+        trace.push(format!("{:?}", oracle.host().device_stats()));
+        trace
+    };
+    for seed in [3u64, 21, 58] {
+        assert_eq!(
+            run(seed),
+            run(seed),
+            "oracle trace diverged for seed {seed}"
+        );
+    }
+}
+
+#[test]
 fn seeds_actually_matter() {
     let base = TcpConfig {
         loss_prob: 0.02,

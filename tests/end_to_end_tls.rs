@@ -3,13 +3,17 @@
 //! decryptable as) a software-produced record.
 
 use smartdimm::{CompCpyHost, HostConfig, OffloadOp};
-use ulp_crypto::gcm::AesGcm;
 use ulp_crypto::tls::{ContentType, RecordLayer, TrafficKeys, HEADER_LEN};
 
 /// Builds a full TLS 1.3 record where the AEAD ran on the DIMM: the CPU
 /// constructs the inner plaintext and header, ships key/nonce/AAD to the
 /// DSA via CompCpy, and assembles header ‖ ciphertext ‖ tag.
-fn offloaded_record(host: &mut CompCpyHost, keys: &TrafficKeys, seq: u64, payload: &[u8]) -> Vec<u8> {
+fn offloaded_record(
+    host: &mut CompCpyHost,
+    keys: &TrafficKeys,
+    seq: u64,
+    payload: &[u8],
+) -> Vec<u8> {
     // TLSInnerPlaintext = payload || content type.
     let mut inner = payload.to_vec();
     inner.push(23);

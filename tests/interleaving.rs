@@ -31,7 +31,15 @@ fn tls_round_trip(host: &mut CompCpyHost, size: usize, aad: &[u8], seed: u64) {
     let key = [0x77u8; 16];
     let iv = [seed as u8; 12];
     let handle = host
-        .comp_cpy_with_aad(dst, src, size, OffloadOp::TlsEncrypt { key, iv }, aad, false, 0)
+        .comp_cpy_with_aad(
+            dst,
+            src,
+            size,
+            OffloadOp::TlsEncrypt { key, iv },
+            aad,
+            false,
+            0,
+        )
         .expect("offload accepted");
     let ct = host.use_buffer(&handle);
     let tag = host.tag(&handle).expect("combined tag available");
@@ -93,7 +101,14 @@ fn decrypt_direction_interleaved() {
     let dst = host.alloc_pages(2);
     host.mem_mut().store(src, &ct, 0);
     let handle = host
-        .comp_cpy(dst, src, ct.len(), OffloadOp::TlsDecrypt { key, iv }, false, 0)
+        .comp_cpy(
+            dst,
+            src,
+            ct.len(),
+            OffloadOp::TlsDecrypt { key, iv },
+            false,
+            0,
+        )
         .expect("offload accepted");
     let pt = host.use_buffer(&handle);
     assert_eq!(pt, msg);

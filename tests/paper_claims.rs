@@ -30,7 +30,10 @@ fn headline_rps_claims() {
     assert!(tls_gain > 1.1, "TLS gain {tls_gain}");
 
     let c_cpu = run_server(PlatformKind::Cpu, &contended(UlpKind::Compression, 4096));
-    let c_sd = run_server(PlatformKind::SmartDimm, &contended(UlpKind::Compression, 4096));
+    let c_sd = run_server(
+        PlatformKind::SmartDimm,
+        &contended(UlpKind::Compression, 4096),
+    );
     let c_gain = c_sd.rps / c_cpu.rps;
     assert!(c_gain > 3.0, "compression gain {c_gain}");
     assert!(
@@ -49,9 +52,15 @@ fn headline_memory_claims() {
     assert!(reduction > 0.2, "TLS memory reduction {reduction}");
 
     let ccpu = run_server(PlatformKind::Cpu, &contended(UlpKind::Compression, 4096));
-    let csd = run_server(PlatformKind::SmartDimm, &contended(UlpKind::Compression, 4096));
+    let csd = run_server(
+        PlatformKind::SmartDimm,
+        &contended(UlpKind::Compression, 4096),
+    );
     let creduction = 1.0 - csd.dram_bytes_per_req / ccpu.dram_bytes_per_req;
-    assert!(creduction > reduction, "compression saves more ({creduction} vs {reduction})");
+    assert!(
+        creduction > reduction,
+        "compression saves more ({creduction} vs {reduction})"
+    );
 }
 
 /// Observation 1 / Fig. 2: the SmartNIC's benefit disappears under packet
@@ -97,7 +106,14 @@ fn scratchpad_sizing_claim() {
             host.mem_mut().store(src, &msg, 0);
             let iv = [i as u8; 12];
             let _ = host
-                .comp_cpy(dst, src, msg.len(), OffloadOp::TlsEncrypt { key, iv }, false, 0)
+                .comp_cpy(
+                    dst,
+                    src,
+                    msg.len(),
+                    OffloadOp::TlsEncrypt { key, iv },
+                    false,
+                    0,
+                )
                 .expect("offload accepted");
         }
         assert_eq!(
@@ -117,7 +133,8 @@ fn slack_exceeds_one_microsecond() {
     for i in 0..10u64 {
         let src = host.alloc_pages(1);
         let dst = host.alloc_pages(1);
-        host.mem_mut().store(src, &ulp_compress::corpus::text(4096, i), 0);
+        host.mem_mut()
+            .store(src, &ulp_compress::corpus::text(4096, i), 0);
         let iv = [i as u8; 12];
         let handle = host
             .comp_cpy(dst, src, 4096, OffloadOp::TlsEncrypt { key, iv }, false, 0)
