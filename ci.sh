@@ -21,6 +21,9 @@ else
     echo "==> clippy not installed; skipping lints"
 fi
 
+echo "==> simlint --workspace (static-analysis gate)"
+cargo run --release -p simlint -q -- --workspace || status=1
+
 echo "==> cargo build --release"
 cargo build --release || status=1
 

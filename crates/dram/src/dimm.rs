@@ -9,7 +9,7 @@
 //! `ALERT_N` ([`RdResult::Retry`]).
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use simkit::Cycle;
 
@@ -100,7 +100,7 @@ impl BufferDevice for Passthrough {
 /// Storage is keyed by DRAM coordinates, not physical address — the chips
 /// know nothing about the system address map.
 pub struct Dimm {
-    cells: HashMap<(usize, usize, usize, usize), [u8; 64]>, // (rank, bank_index, row, col)
+    cells: BTreeMap<(usize, usize, usize, usize), [u8; 64]>, // (rank, bank_index, row, col)
     buffer: Box<dyn BufferDevice>,
 }
 
@@ -116,7 +116,7 @@ impl Dimm {
     /// Creates a DIMM with the given buffer device.
     pub fn new(buffer: Box<dyn BufferDevice>) -> Dimm {
         Dimm {
-            cells: HashMap::new(),
+            cells: BTreeMap::new(),
             buffer,
         }
     }

@@ -140,6 +140,8 @@ pub struct MemSystem {
     /// Dirty lines whose writeback a fault deferred; they reach DRAM only
     /// when [`MemSystem::drain_writebacks`] runs.
     deferred_wb: Vec<(PhysAddr, [u8; 64])>,
+    /// Flushes the fault injector disturbed (reordered or deferred).
+    fault_disturbances: u64,
 }
 
 impl std::fmt::Debug for MemSystem {
@@ -164,6 +166,7 @@ impl MemSystem {
             bg_active: false,
             fault: None,
             deferred_wb: Vec::new(),
+            fault_disturbances: 0,
         }
     }
 
@@ -176,6 +179,12 @@ impl MemSystem {
     /// Writebacks currently stuck in the (fault-injected) write buffer.
     pub fn deferred_writebacks(&self) -> usize {
         self.deferred_wb.len()
+    }
+
+    /// Flushes whose writebacks the installed fault injector disturbed
+    /// (zero without a fault plan).
+    pub fn fault_disturbance_count(&self) -> u64 {
+        self.fault_disturbances
     }
 
     /// Delivers every deferred writeback to DRAM. Returns how many were
@@ -409,6 +418,9 @@ impl MemSystem {
             Some(f) => f.writeback_faults(),
             None => (false, 0),
         };
+        if reorder || delay > 0 {
+            self.fault_disturbances += 1;
+        }
         if !reorder && delay == 0 {
             let mut cur = start;
             while cur < end {

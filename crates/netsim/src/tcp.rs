@@ -110,6 +110,9 @@ pub struct TcpRun {
     pub fast_retransmits: u64,
     /// Segments dropped by the loss process.
     pub drops: u64,
+    /// Of `drops`, those forced by an installed fault injector (rather
+    /// than the seeded random loss process).
+    pub forced_drops: u64,
     /// Segments delayed by the reordering process.
     pub reordered: u64,
 }
@@ -187,6 +190,7 @@ pub fn simulate_transfer_with_faults(
         timeouts: 0,
         fast_retransmits: 0,
         drops: 0,
+        forced_drops: 0,
         reordered: 0,
     };
 
@@ -216,6 +220,9 @@ pub fn simulate_transfer_with_faults(
             seg_counter += 1;
             if random_drop || forced_drop {
                 run.drops += 1;
+                if forced_drop {
+                    run.forced_drops += 1;
+                }
             } else if rng.gen_bool(cfg.reorder_prob) {
                 run.reordered += 1;
                 $q.push(

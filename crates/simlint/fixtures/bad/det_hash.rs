@@ -1,0 +1,7 @@
+//! Known-bad: hasher-seeded collections in live sim code.
+
+use std::collections::HashMap;
+
+pub fn drain(m: &HashMap<u64, u64>) -> Vec<u64> {
+    m.values().copied().collect()
+}

@@ -1,0 +1,9 @@
+//! Known-bad: wall-clock time and OS randomness in sim code.
+
+pub fn stamp() -> u64 {
+    let t = Instant::now();
+    let _ = SystemTime::now();
+    let mut rng = thread_rng();
+    let _ = (t, rng.next());
+    0
+}

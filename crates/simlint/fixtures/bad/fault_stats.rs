@@ -1,0 +1,8 @@
+//! Known-bad: a fault-injector consult with no stats counter.
+
+pub fn hook(dev: &mut Dev, line: usize) -> bool {
+    if dev.fault.drop_source_feed(line) {
+        return true;
+    }
+    false
+}

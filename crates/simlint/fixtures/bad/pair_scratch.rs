@@ -1,0 +1,6 @@
+//! Known-bad: a Scratchpad reserve with no release on any path.
+
+pub fn reserve(dev: &mut Dev, at: u64) {
+    let page = dev.scratchpad.alloc(at, 1, 0xF);
+    dev.xlat_insert(page);
+}

@@ -1,0 +1,5 @@
+//! Known-bad: raw byte writes into the MMIO descriptor registers.
+
+pub fn register_raw(dev: &mut Dev) {
+    dev.mmio_broadcast(REGISTER_OFFSET, &[0u8; 64]);
+}

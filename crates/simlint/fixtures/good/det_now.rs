@@ -1,0 +1,5 @@
+//! Known-good: deterministic time and seeded randomness.
+
+pub fn stamp(now: simkit::Cycle, rng: &mut simkit::rng::DetRng) -> u64 {
+    now.0 + rng.next_u64()
+}

@@ -1,0 +1,9 @@
+//! Known-good: every injected fault is visible through a counter.
+
+pub fn hook(dev: &mut Dev, line: usize) -> bool {
+    if dev.fault.drop_source_feed(line) {
+        dev.stats.dropped_feeds += 1;
+        return true;
+    }
+    false
+}

@@ -1,0 +1,10 @@
+//! Known-good: the reserve is paired with a release on the error path.
+
+pub fn reserve(dev: &mut Dev, at: u64) {
+    let Some(page) = dev.scratchpad.alloc(at, 1, 0xF) else {
+        return;
+    };
+    if dev.xlat_insert(page).is_err() {
+        dev.scratchpad.force_free(at, page);
+    }
+}

@@ -1,0 +1,5 @@
+//! Known-good: registration goes through the typed 64 B descriptor API.
+
+pub fn register(dev: &mut Dev, reg: Registration) {
+    dev.mmio_broadcast(REGISTER_OFFSET, &reg.to_bytes());
+}

@@ -1,0 +1,320 @@
+//! A hand-rolled Rust token scanner.
+//!
+//! Produces a flat token stream with line numbers, correctly skipping
+//! the places naive text matching goes wrong: line and (nested) block
+//! comments, string/char/byte/raw-string literals, and lifetimes. The
+//! scanner does not attempt full Rust lexing — rules only need
+//! identifiers and punctuation — but it must never misclassify code as
+//! a literal (or vice versa), because every downstream rule trusts it.
+//!
+//! Comments are not discarded: their text is surfaced separately so the
+//! driver can honour inline `// simlint: allow(RULE): reason` markers.
+
+/// Token classification. Literal payloads are intentionally not kept:
+/// no rule matches inside literals, which is exactly the point of
+/// lexing instead of grepping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `unwrap`, ...).
+    Ident,
+    /// Single punctuation character (`.`, `(`, `[`, `!`, ...).
+    Punct,
+    /// String, char, byte or numeric literal (payload dropped).
+    Lit,
+    /// A lifetime such as `'a` (kept distinct from char literals).
+    Lifetime,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// Is this punctuation token exactly `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// A comment with its line, for allow-directive scanning.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+}
+
+/// Lexer output: the token stream plus every comment.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenizes `src`. Never fails: unterminated literals simply consume
+/// the rest of the file (the compiler will reject such code anyway; the
+/// linter must not panic on it).
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Consumes chars until (and including) the closing delimiter of a
+    // non-raw string/char literal starting after the opening quote.
+    fn skip_quoted(b: &[char], mut i: usize, line: &mut u32, quote: char) -> usize {
+        while i < b.len() {
+            match b[i] {
+                '\\' => i += 2,
+                '\n' => {
+                    *line += 1;
+                    i += 1;
+                }
+                c if c == quote => return i + 1,
+                _ => i += 1,
+            }
+        }
+        i
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&'/') => {
+                let start = i + 2;
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: b[start.min(i)..i].iter().collect(),
+                    line,
+                });
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1usize;
+                i += 2;
+                let text_start = start;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    text: b[text_start..i.saturating_sub(2).max(text_start)]
+                        .iter()
+                        .collect(),
+                    line: start_line,
+                });
+            }
+            '"' => {
+                i = skip_quoted(&b, i + 1, &mut line, '"');
+                out.toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text: String::new(),
+                    line,
+                });
+            }
+            '\'' => {
+                // Lifetime (`'a`, `'static`) vs char literal (`'x'`,
+                // `'\n'`). A lifetime is a quote followed by an ident
+                // char NOT closed by another quote one char later.
+                let is_lifetime = b.get(i + 1).is_some_and(|c| c.is_alphabetic() || *c == '_')
+                    && b.get(i + 2) != Some(&'\'');
+                if is_lifetime {
+                    let start = i + 1;
+                    i += 1;
+                    while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: b[start..i].iter().collect(),
+                        line,
+                    });
+                } else {
+                    i = skip_quoted(&b, i + 1, &mut line, '\'');
+                    out.toks.push(Tok {
+                        kind: TokKind::Lit,
+                        text: String::new(),
+                        line,
+                    });
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                let text: String = b[start..i].iter().collect();
+                // Raw string prefixes: r"...", r#"..."#, br"...", etc.
+                let raw_capable = matches!(text.as_str(), "r" | "br" | "rb" | "cr");
+                if raw_capable && matches!(b.get(i), Some('"') | Some('#')) {
+                    let mut hashes = 0usize;
+                    while b.get(i) == Some(&'#') {
+                        hashes += 1;
+                        i += 1;
+                    }
+                    if b.get(i) == Some(&'"') {
+                        i += 1;
+                        // Scan for `"` followed by `hashes` `#`s.
+                        'raw: while i < b.len() {
+                            if b[i] == '\n' {
+                                line += 1;
+                            }
+                            if b[i] == '"' {
+                                let mut k = 0usize;
+                                while k < hashes && b.get(i + 1 + k) == Some(&'#') {
+                                    k += 1;
+                                }
+                                if k == hashes {
+                                    i += 1 + hashes;
+                                    break 'raw;
+                                }
+                            }
+                            i += 1;
+                        }
+                        out.toks.push(Tok {
+                            kind: TokKind::Lit,
+                            text: String::new(),
+                            line,
+                        });
+                        continue;
+                    }
+                    // `r#ident` raw identifier: fall through as ident.
+                    let start2 = i;
+                    while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Ident,
+                        text: b[start2..i].iter().collect(),
+                        line,
+                    });
+                    continue;
+                }
+                // Byte strings: b"..." — the ident `b` directly before a
+                // quote is part of the literal; emit no ident for it.
+                if text == "b" && b.get(i) == Some(&'"') {
+                    i = skip_quoted(&b, i + 1, &mut line, '"');
+                    out.toks.push(Tok {
+                        kind: TokKind::Lit,
+                        text: String::new(),
+                        line,
+                    });
+                    continue;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                // Numbers: consume digits and alphanumeric suffix chars
+                // (0xFF, 1_000u64). A `.` is left as punctuation — range
+                // expressions (`0..n`) must not swallow it.
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text: String::new(),
+                    line,
+                });
+            }
+            _ => {
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            let a = "HashMap inside a string";
+            // HashMap inside a line comment
+            /* HashMap inside /* a nested */ block comment */
+            let b = r#"HashMap inside a raw string"#;
+            let c = b"HashMap in bytes";
+            let real = HashMap::new();
+        "##;
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|s| *s == "HashMap").count(), 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }").toks;
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(toks.iter().any(|t| t.kind == TokKind::Lit));
+    }
+
+    #[test]
+    fn comments_surface_for_allow_markers() {
+        let lx = lex("let x = 1; // simlint: allow(DET-HASH): test");
+        assert_eq!(lx.comments.len(), 1);
+        assert!(lx.comments[0].text.contains("allow(DET-HASH)"));
+        assert_eq!(lx.comments[0].line, 1);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let lx = lex("let s = \"a\nb\nc\";\nlet t = 1;");
+        let t_tok = lx.toks.iter().find(|t| t.is_ident("t")).unwrap();
+        assert_eq!(t_tok.line, 4);
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string_early() {
+        let ids = idents(r#"let s = "a\"HashMap\""; let real = Instant;"#);
+        assert_eq!(ids, vec!["let", "s", "let", "real", "Instant"]);
+    }
+}

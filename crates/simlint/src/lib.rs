@@ -1,0 +1,143 @@
+//! `simlint`: workspace-native static analysis for the SmartDIMM
+//! simulator.
+//!
+//! Zero-dependency by design — the analyzer must run in the same
+//! offline environment as the simulator itself, so the lexer
+//! ([`lexer`]), item/attribute parser ([`context`]), rule registry
+//! ([`rules`]), allowlist baseline ([`baseline`]) and JSON emitter
+//! ([`emit`]) are all hand-rolled. See DESIGN.md § "Static analysis"
+//! for the rule catalogue and the rationale tying each rule to a paper
+//! mechanism.
+//!
+//! The library surface exists so the fixture tests can drive scans
+//! in-process; the CI entry point is the `simlint` binary.
+
+pub mod baseline;
+pub mod context;
+pub mod emit;
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use baseline::Baseline;
+use context::FileContext;
+use rules::Diagnostic;
+
+/// Result of scanning a set of files.
+#[derive(Debug, Default)]
+pub struct ScanResult {
+    /// Unsuppressed findings, sorted by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Findings suppressed by the baseline, with the raw source line
+    /// (kept so `--update-baseline` can re-render them).
+    pub baselined: Vec<(Diagnostic, String)>,
+    pub files_scanned: usize,
+}
+
+/// Scans one in-memory file. `path` should be workspace-relative with
+/// `/` separators — it becomes the `file` field of every diagnostic.
+pub fn scan_source(path: &str, src: &str) -> Vec<Diagnostic> {
+    rules::check_file(&FileContext::new(path, src))
+}
+
+/// Scans `files` (absolute path, workspace-relative display path),
+/// splitting findings into live vs baselined.
+pub fn scan_files(files: &[(PathBuf, String)], base: &Baseline) -> ScanResult {
+    let mut result = ScanResult::default();
+    for (abs, rel) in files {
+        let Ok(src) = fs::read_to_string(abs) else {
+            continue; // unreadable file: the compiler will complain, not us
+        };
+        result.files_scanned += 1;
+        let lines: Vec<&str> = src.lines().collect();
+        for d in scan_source(rel, &src) {
+            let src_line = lines
+                .get(d.line.saturating_sub(1) as usize)
+                .copied()
+                .unwrap_or("")
+                .to_string();
+            if base.suppresses(&d, &src_line) {
+                result.baselined.push((d, src_line));
+            } else {
+                result.diagnostics.push(d);
+            }
+        }
+    }
+    result.diagnostics.sort();
+    result
+}
+
+/// Walks the workspace and returns every `.rs` file the gate covers:
+/// `crates/*/src/**` and the workspace-level `tests/`, excluding
+/// vendored shims (`crates/shims/`) and simlint's own lint fixtures
+/// (which are known-bad on purpose).
+pub fn workspace_files(root: &Path) -> Vec<(PathBuf, String)> {
+    let mut files = Vec::new();
+    let crates = root.join("crates");
+    if let Ok(entries) = fs::read_dir(&crates) {
+        let mut dirs: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        for dir in dirs {
+            if dir.file_name().is_some_and(|n| n == "shims") {
+                continue;
+            }
+            collect_rs(&dir.join("src"), root, &mut files);
+        }
+    }
+    collect_rs(&root.join("tests"), root, &mut files);
+    collect_rs(&root.join("src"), root, &mut files);
+    files.sort();
+    files
+}
+
+/// Recursively collects `.rs` files under `dir`, recording paths
+/// relative to `root` with `/` separators for stable output.
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<(PathBuf, String)>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            if p.file_name()
+                .is_some_and(|n| n == "fixtures" || n == "target")
+            {
+                continue;
+            }
+            collect_rs(&p, root, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(&p)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push((p, rel));
+        }
+    }
+}
+
+/// Finds the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

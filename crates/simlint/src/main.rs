@@ -1,0 +1,168 @@
+//! The `simlint` CLI — the CI gate entry point.
+//!
+//! ```text
+//! simlint --workspace [--json] [--baseline FILE] [--update-baseline]
+//! simlint FILE.rs [FILE.rs ...] [--json]
+//! simlint --list-rules
+//! ```
+//!
+//! Exit code 0 iff every finding is suppressed (inline allow marker or
+//! baseline entry); 1 if any live finding remains; 2 on usage errors.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use simlint::baseline::Baseline;
+use simlint::emit::{render_human, render_json, Report};
+use simlint::{find_workspace_root, scan_files, workspace_files};
+
+struct Args {
+    workspace: bool,
+    json: bool,
+    update_baseline: bool,
+    list_rules: bool,
+    baseline_path: Option<PathBuf>,
+    files: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        json: false,
+        update_baseline: false,
+        list_rules: false,
+        baseline_path: None,
+        files: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => args.workspace = true,
+            "--json" => args.json = true,
+            "--update-baseline" => args.update_baseline = true,
+            "--list-rules" => args.list_rules = true,
+            "--baseline" => {
+                let p = it.next().ok_or("--baseline requires a path")?;
+                args.baseline_path = Some(PathBuf::from(p));
+            }
+            "--help" | "-h" => {
+                return Err("usage: simlint --workspace [--json] [--baseline FILE] \
+                            [--update-baseline] | simlint FILE.rs ... | simlint --list-rules"
+                    .to_string());
+            }
+            f if !f.starts_with('-') => args.files.push(PathBuf::from(f)),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if !args.workspace && args.files.is_empty() && !args.list_rules {
+        return Err("nothing to scan: pass --workspace or file paths (see --help)".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("simlint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for id in simlint::rules::RULE_IDS {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Resolve the file set and baseline location.
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let (files, default_baseline) = if args.workspace {
+        let Some(root) = find_workspace_root(&cwd) else {
+            eprintln!("simlint: no workspace root (Cargo.toml with [workspace]) above {cwd:?}");
+            return ExitCode::from(2);
+        };
+        let files = workspace_files(&root);
+        (files, Some(root.join("simlint.baseline")))
+    } else {
+        let files = args
+            .files
+            .iter()
+            .map(|p| (p.clone(), p.to_string_lossy().replace('\\', "/")))
+            .collect();
+        (files, None)
+    };
+
+    let baseline_path = args.baseline_path.or(default_baseline);
+    let base = baseline_path
+        .as_deref()
+        .and_then(|p| std::fs::read_to_string(p).ok())
+        .map(|text| Baseline::parse(&text))
+        .unwrap_or_default();
+
+    let result = scan_files(&files, &base);
+
+    if args.update_baseline {
+        let Some(path) = baseline_path.as_deref() else {
+            eprintln!("simlint: --update-baseline requires --workspace or --baseline FILE");
+            return ExitCode::from(2);
+        };
+        return update_baseline(path, &files, &result);
+    }
+
+    let report = Report {
+        diagnostics: &result.diagnostics,
+        files_scanned: result.files_scanned,
+        baselined: result.baselined.len(),
+    };
+    if args.json {
+        print!("{}", render_json(&report));
+    } else {
+        print!("{}", render_human(&report));
+    }
+    if result.diagnostics.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Rewrites the baseline to exactly the current finding set (live +
+/// already-baselined), dropping stale entries.
+fn update_baseline(
+    path: &Path,
+    files: &[(PathBuf, String)],
+    result: &simlint::ScanResult,
+) -> ExitCode {
+    let mut items = result.baselined.clone();
+    for d in &result.diagnostics {
+        let src_line = files
+            .iter()
+            .find(|(_, rel)| *rel == d.file)
+            .and_then(|(abs, _)| std::fs::read_to_string(abs).ok())
+            .and_then(|src| {
+                src.lines()
+                    .nth(d.line.saturating_sub(1) as usize)
+                    .map(|l| l.to_string())
+            })
+            .unwrap_or_default();
+        items.push((d.clone(), src_line));
+    }
+    let text = Baseline::render(&items);
+    match std::fs::write(path, &text) {
+        Ok(()) => {
+            eprintln!(
+                "simlint: wrote {} entr{} to {}",
+                items.len(),
+                if items.len() == 1 { "y" } else { "ies" },
+                path.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("simlint: cannot write {}: {e}", path.display());
+            ExitCode::from(2)
+        }
+    }
+}

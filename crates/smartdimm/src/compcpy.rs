@@ -32,6 +32,9 @@ pub enum CompCpyError {
     /// Non-size-preserving ULPs need their buffers mapped to a single
     /// channel (§V-D); this system interleaves across channels.
     SingleChannelOnly,
+    /// A thread holding the driver's scratchpad-space lock panicked,
+    /// poisoning the software-side free-page tracker.
+    HostStatePoisoned,
 }
 
 impl std::fmt::Display for CompCpyError {
@@ -46,6 +49,9 @@ impl std::fmt::Display for CompCpyError {
                     f,
                     "non-size-preserving offloads require single-channel mapping"
                 )
+            }
+            CompCpyError::HostStatePoisoned => {
+                write!(f, "driver scratchpad-space lock poisoned")
             }
         }
     }
@@ -102,6 +108,8 @@ pub struct CompCpyHost {
     alloc_next: u64,
     /// Software-side counters.
     force_recycles: u64,
+    /// Preparation faults (xlat pressure, scratch hogs) armed and applied.
+    injected_faults: u64,
     /// Fault injector (tests only); shared with the devices, the memory
     /// system and — if the caller threads it through — the TCP model.
     fault: Option<simkit::FaultHandle>,
@@ -139,6 +147,7 @@ impl CompCpyHost {
             next_id: 1,
             alloc_next: 0x0010_0000, // driver pool starts at 1 MB
             force_recycles: 0,
+            injected_faults: 0,
             fault: None,
         }
     }
@@ -167,6 +176,7 @@ impl CompCpyHost {
             return;
         };
         let preps = fault.begin_offload();
+        self.injected_faults += preps.len() as u64;
         for kind in preps {
             match kind {
                 simkit::FaultKind::XlatPressure { entries } => {
@@ -212,6 +222,12 @@ impl CompCpyHost {
     /// Times Force-Recycle was invoked (§VII-A expects ~zero).
     pub fn force_recycle_count(&self) -> u64 {
         self.force_recycles
+    }
+
+    /// Preparation faults the installed injector armed and this host
+    /// applied (zero unless a [`simkit::FaultPlan`] is installed).
+    pub fn injected_fault_count(&self) -> u64 {
+        self.injected_faults
     }
 
     /// Device statistics, read through the buffer-device downcast.
@@ -461,7 +477,10 @@ impl CompCpyHost {
         let pages_needed = 1 + size / PAGE; // line 16's reservation
                                             // Lines 7-17: reserve scratchpad space under the lock.
         {
-            let mut free = self.free_pages.lock().unwrap();
+            let mut free = self
+                .free_pages
+                .lock()
+                .map_err(|_| CompCpyError::HostStatePoisoned)?;
             if *free <= pages_needed as i64 {
                 // Lazy refresh from SmartDIMMConfig[0] (line 9).
                 let status = {
@@ -474,7 +493,10 @@ impl CompCpyHost {
                     drop(free);
                     self.force_recycle(pages_needed);
                     let status = self.read_status();
-                    let mut free = self.free_pages.lock().unwrap();
+                    let mut free = self
+                        .free_pages
+                        .lock()
+                        .map_err(|_| CompCpyError::HostStatePoisoned)?;
                     *free = status.free_pages as i64;
                     if *free < pages_needed as i64 {
                         return Err(CompCpyError::OutOfScratchpad);
@@ -565,7 +587,10 @@ impl CompCpyHost {
         self.apply_armed_faults();
         // Reserve scratchpad space exactly as CompCpy does.
         let pages_needed = 1 + size / PAGE;
-        let cached = *self.free_pages.lock().unwrap();
+        let cached = *self
+            .free_pages
+            .lock()
+            .map_err(|_| CompCpyError::HostStatePoisoned)?;
         if cached <= pages_needed as i64 {
             let status = self.read_status();
             let mut refreshed = status.free_pages as i64;
@@ -576,9 +601,15 @@ impl CompCpyHost {
                     return Err(CompCpyError::OutOfScratchpad);
                 }
             }
-            *self.free_pages.lock().unwrap() = refreshed - pages_needed as i64;
+            *self
+                .free_pages
+                .lock()
+                .map_err(|_| CompCpyError::HostStatePoisoned)? = refreshed - pages_needed as i64;
         } else {
-            *self.free_pages.lock().unwrap() = cached - pages_needed as i64;
+            *self
+                .free_pages
+                .lock()
+                .map_err(|_| CompCpyError::HostStatePoisoned)? = cached - pages_needed as i64;
         }
         let id = self.next_id;
         self.next_id += 1;

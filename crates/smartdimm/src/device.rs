@@ -20,7 +20,7 @@
 //!   computation is pending (S13).
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dram::{AddressMapper, BufferDevice, CasInfo, DramTopology, PhysAddr, RdResult, WrResult};
 use simkit::{Cycle, FaultHandle, Histogram, TimeSeries};
@@ -97,6 +97,13 @@ pub struct DeviceStats {
     pub xlat_failures: u64,
     /// MMIO register writes handled.
     pub mmio_writes: u64,
+    /// Source feeds the (injected) arbiter fault dropped.
+    pub dropped_feeds: u64,
+    /// CAS commands whose bank had no Bank Table entry (arbiter out of
+    /// sync with the controller; recovered from the command's own row).
+    pub bank_desyncs: u64,
+    /// DSA output lines with no registered destination page to stage in.
+    pub orphan_lines: u64,
 }
 
 #[derive(Debug)]
@@ -124,14 +131,14 @@ pub struct SmartDimmDevice {
     bank_table: BankTable,
     xlat: TranslationTable,
     scratchpad: Scratchpad,
-    offloads: HashMap<u64, Offload>,
-    contexts: HashMap<u64, [u8; 48]>,
+    offloads: BTreeMap<u64, Offload>,
+    contexts: BTreeMap<u64, [u8; 48]>,
     results: Vec<[u8; 64]>,
     /// Offload currently owning each result slot (for live partial reads).
     slot_owner: Vec<Option<u64>>,
     stats: DeviceStats,
     /// Cycle at which each staged line was produced, for slack tracking.
-    produce_time: HashMap<(usize, usize), Cycle>,
+    produce_time: BTreeMap<(usize, usize), Cycle>,
     /// rdCAS(sbuf) → wrCAS(dbuf) slack histogram (cycles, §IV-D).
     slack: Histogram,
     /// Fault injector (tests only; `None` costs nothing).
@@ -167,12 +174,12 @@ impl SmartDimmDevice {
             bank_table: BankTable::new(topo.ranks, topo.banks_per_rank()),
             xlat: TranslationTable::new(cfg.xlat_entries, cfg.cam_entries),
             scratchpad: Scratchpad::new(cfg.scratchpad_pages),
-            offloads: HashMap::new(),
-            contexts: HashMap::new(),
+            offloads: BTreeMap::new(),
+            contexts: BTreeMap::new(),
             results: vec![ResultSlot::empty().to_bytes(); cfg.result_slots],
             slot_owner: vec![None; cfg.result_slots],
             stats: DeviceStats::default(),
-            produce_time: HashMap::new(),
+            produce_time: BTreeMap::new(),
             slack: Histogram::new("smartdimm.slack_cycles", 200, 2000),
             fault: None,
             injected_xlat_pages: Vec::new(),
@@ -404,10 +411,21 @@ impl SmartDimmDevice {
             self.stats.xlat_failures += 1;
             return;
         };
-        let (op, msg_len, aad, absorb_metadata, dma_input) =
-            OffloadOp::decode_context_full(&payload);
+        let Some((op, msg_len, aad, absorb_metadata, dma_input)) =
+            OffloadOp::decode_context_full(&payload)
+        else {
+            // Corrupt context payload: reject the registration.
+            self.stats.xlat_failures += 1;
+            return;
+        };
         let page_index = (reg.msg_offset as usize) / PAGE;
         let num_pages = msg_len.div_ceil(PAGE);
+        if page_index >= num_pages {
+            // A descriptor whose msg_offset lies beyond the message is a
+            // driver bug; the hardware must reject it, not fault on it.
+            self.stats.xlat_failures += 1;
+            return;
+        }
 
         // Lazily create the offload state on its first page registration.
         if !self.offloads.contains_key(&reg.offload_id) {
@@ -451,10 +469,19 @@ impl SmartDimmDevice {
             self.xlat.remove(reg.dst_page_addr >> 12);
             if let Some(old) = self.offloads.get_mut(&old_id) {
                 let old_page_index = old_off / PAGE;
-                old.dst_scratch[old_page_index] = None;
-                old.dst_phys[old_page_index] = None;
+                if let Some(s) = old.dst_scratch.get_mut(old_page_index) {
+                    *s = None;
+                }
+                if let Some(p) = old.dst_phys.get_mut(old_page_index) {
+                    *p = None;
+                }
             }
-            self.maybe_drop_offload(old_id);
+            if old_id != reg.offload_id {
+                // Same-id re-registration must not drop the offload we are
+                // in the middle of (re)registering: its first page pair has
+                // no staging yet, so maybe_drop_offload would reap it here.
+                self.maybe_drop_offload(old_id);
+            }
         }
 
         // Bytes of the message covered by this page.
@@ -519,16 +546,32 @@ impl SmartDimmDevice {
             }
             return;
         }
-        let off = self.offloads.get_mut(&reg.offload_id).expect("offload");
-        off.dst_scratch[page_index] = Some(scratch_page);
-        off.dst_phys[page_index] = Some(reg.dst_page_addr >> 12);
+        let Some(off) = self.offloads.get_mut(&reg.offload_id) else {
+            // The offload record vanished (should be unreachable now that
+            // same-id supersede keeps it alive); unwind the registration
+            // instead of faulting the device.
+            self.stats.xlat_failures += 1;
+            self.scratchpad.force_free(at, scratch_page);
+            self.xlat.remove(reg.src_page_addr >> 12);
+            self.xlat.remove(reg.dst_page_addr >> 12);
+            return;
+        };
+        // `page_index < num_pages` was checked above; the vectors were
+        // sized with `num_pages` when the record was created.
+        if let Some(s) = off.dst_scratch.get_mut(page_index) {
+            *s = Some(scratch_page);
+        }
+        if let Some(p) = off.dst_phys.get_mut(page_index) {
+            *p = Some(reg.dst_page_addr >> 12);
+        }
         off.src_pages.push(reg.src_page_addr >> 12);
     }
 
     /// Routes DSA output lines into the scratchpad pages of the offload.
     fn stage_outputs(
         scratchpad: &mut Scratchpad,
-        produce_time: &mut HashMap<(usize, usize), Cycle>,
+        produce_time: &mut BTreeMap<(usize, usize), Cycle>,
+        stats: &mut DeviceStats,
         off: &Offload,
         at: Cycle,
         produced: &[(usize, [u8; 64])],
@@ -536,7 +579,13 @@ impl SmartDimmDevice {
         for &(out_line, data) in produced {
             let page_index = out_line / LINES_PER_PAGE;
             let line_in_page = out_line % LINES_PER_PAGE;
-            let scratch = off.dst_scratch[page_index].expect("registered dst page");
+            // An output line beyond the registered destination range (or
+            // landing on a superseded page) has nowhere to go: count it
+            // and drop the data rather than faulting the device.
+            let Some(Some(scratch)) = off.dst_scratch.get(page_index).copied() else {
+                stats.orphan_lines += 1;
+                continue;
+            };
             if scratchpad.line_state(scratch, line_in_page) == LineState::Pending {
                 scratchpad.produce(scratch, line_in_page, data);
                 produce_time.insert((scratch, line_in_page), at);
@@ -553,7 +602,9 @@ impl SmartDimmDevice {
         }
         .to_bytes();
         self.stats.offloads_completed += 1;
-        let off = self.offloads.get_mut(&offload_id).expect("offload");
+        let Some(off) = self.offloads.get_mut(&offload_id) else {
+            return; // completion raced a full supersede; result already stored
+        };
         off.done = true;
         if !off.op.size_preserving() {
             // Trim destination pages to the actual output size.
@@ -576,10 +627,12 @@ impl SmartDimmDevice {
 
     fn cleanup_dst_page(&mut self, offload_id: u64, page_index: usize) {
         if let Some(off) = self.offloads.get_mut(&offload_id) {
-            if let Some(dst_page) = off.dst_phys[page_index].take() {
+            if let Some(dst_page) = off.dst_phys.get_mut(page_index).and_then(Option::take) {
                 self.xlat.remove(dst_page);
             }
-            off.dst_scratch[page_index] = None;
+            if let Some(s) = off.dst_scratch.get_mut(page_index) {
+                *s = None;
+            }
         }
     }
 
@@ -591,37 +644,40 @@ impl SmartDimmDevice {
             Some(off) => off.dst_scratch.iter().all(|s| s.is_none()),
             None => false,
         };
-        if drop_it {
-            let off = self.offloads.remove(&offload_id).expect("offload");
-            let slot = (offload_id as usize) % self.results.len();
-            if !off.done {
-                // A partial TLS engine (channel interleaving) fully
-                // recycled without a device-local completion: persist its
-                // partial result for the host-side combine.
-                if let Some((bytes, partial)) = off.dsa.partial() {
-                    self.results[slot] = ResultSlot {
-                        status: OffloadStatus::Partial,
-                        out_len: bytes as u64,
-                        tag: partial,
-                    }
-                    .to_bytes();
-                }
-            }
-            if self.slot_owner[slot] == Some(offload_id) {
-                self.slot_owner[slot] = None;
-            }
-            for src in off.src_pages {
-                // A newer offload may have re-registered the same source
-                // page (persistent connections reuse buffers): remove the
-                // translation only if it still belongs to this offload.
-                if let Some(Mapping::Source { offload, .. }) = self.xlat.peek(src) {
-                    if offload == offload_id {
-                        self.xlat.remove(src);
-                    }
-                }
-            }
-            self.contexts.remove(&offload_id);
+        if !drop_it {
+            return;
         }
+        let Some(off) = self.offloads.remove(&offload_id) else {
+            return;
+        };
+        let slot = (offload_id as usize) % self.results.len();
+        if !off.done {
+            // A partial TLS engine (channel interleaving) fully
+            // recycled without a device-local completion: persist its
+            // partial result for the host-side combine.
+            if let Some((bytes, partial)) = off.dsa.partial() {
+                self.results[slot] = ResultSlot {
+                    status: OffloadStatus::Partial,
+                    out_len: bytes as u64,
+                    tag: partial,
+                }
+                .to_bytes();
+            }
+        }
+        if self.slot_owner[slot] == Some(offload_id) {
+            self.slot_owner[slot] = None;
+        }
+        for src in off.src_pages {
+            // A newer offload may have re-registered the same source
+            // page (persistent connections reuse buffers): remove the
+            // translation only if it still belongs to this offload.
+            if let Some(Mapping::Source { offload, .. }) = self.xlat.peek(src) {
+                if offload == offload_id {
+                    self.xlat.remove(src);
+                }
+            }
+        }
+        self.contexts.remove(&offload_id);
     }
 }
 
@@ -636,11 +692,16 @@ impl BufferDevice for SmartDimmDevice {
 
     fn on_rd_cas(&mut self, info: &CasInfo, dram_data: &[u8; 64]) -> RdResult {
         // Addr Remap: regenerate the physical address from the Bank
-        // Table's active row plus the CAS coordinates (§IV-C).
-        let row = self
-            .bank_table
-            .active_row(info.loc.rank, info.bank_index)
-            .expect("CAS to a precharged bank");
+        // Table's active row plus the CAS coordinates (§IV-C). A CAS to a
+        // precharged bank means the Bank Table lost sync with the
+        // controller; recover from the command's own row and count it.
+        let row = match self.bank_table.active_row(info.loc.rank, info.bank_index) {
+            Some(row) => row,
+            None => {
+                self.stats.bank_desyncs += 1;
+                info.loc.row
+            }
+        };
         debug_assert_eq!(row, info.loc.row, "bank table out of sync");
         let mut loc = info.loc;
         loc.row = row;
@@ -680,6 +741,7 @@ impl BufferDevice for SmartDimmDevice {
                     // this line. `processed` stays clear, so a host re-read
                     // of the source range recovers the offload.
                     if f.drop_source_feed(line_index) {
+                        self.stats.dropped_feeds += 1;
                         return RdResult::Data(*dram_data);
                     }
                 }
@@ -690,6 +752,7 @@ impl BufferDevice for SmartDimmDevice {
                 Self::stage_outputs(
                     &mut self.scratchpad,
                     &mut self.produce_time,
+                    &mut self.stats,
                     off,
                     info.at,
                     &out.produced,
@@ -719,10 +782,13 @@ impl BufferDevice for SmartDimmDevice {
     }
 
     fn on_wr_cas(&mut self, info: &CasInfo, host_data: &[u8; 64]) -> WrResult {
-        let row = self
-            .bank_table
-            .active_row(info.loc.rank, info.bank_index)
-            .expect("CAS to a precharged bank");
+        let row = match self.bank_table.active_row(info.loc.rank, info.bank_index) {
+            Some(row) => row,
+            None => {
+                self.stats.bank_desyncs += 1;
+                info.loc.row
+            }
+        };
         let mut loc = info.loc;
         loc.row = row;
         let phys = self.mapper.encode(&loc);
@@ -755,6 +821,7 @@ impl BufferDevice for SmartDimmDevice {
                             Self::stage_outputs(
                                 &mut self.scratchpad,
                                 &mut self.produce_time,
+                                &mut self.stats,
                                 off,
                                 info.at,
                                 &out.produced,

@@ -15,6 +15,15 @@ use ulp_crypto::gcm::{AesGcm, Direction, OooGcm};
 
 use crate::configmem::OffloadStatus;
 
+/// Copies `N` bytes out of the context payload starting at `at`,
+/// without any panicking slice/array conversion.
+fn take_arr<const N: usize>(p: &[u8; 48], at: usize) -> Option<[u8; N]> {
+    let slice = p.get(at..at + N)?;
+    let mut out = [0u8; N];
+    out.copy_from_slice(slice);
+    Some(out)
+}
+
 /// The offload operation requested through CompCpy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OffloadOp {
@@ -93,32 +102,29 @@ impl OffloadOp {
     }
 
     /// Decodes a context payload back into
-    /// `(op, msg_len, aad, absorb_metadata)`.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an unknown op byte (a malformed MMIO write).
-    pub fn decode_context(p: &[u8; 48]) -> (OffloadOp, usize, Vec<u8>, bool) {
-        let (op, msg_len, aad, absorb, _) = OffloadOp::decode_context_full(p);
-        (op, msg_len, aad, absorb)
+    /// `(op, msg_len, aad, absorb_metadata)`, or `None` for a malformed
+    /// payload (unknown op byte, oversized AAD length).
+    pub fn decode_context(p: &[u8; 48]) -> Option<(OffloadOp, usize, Vec<u8>, bool)> {
+        let (op, msg_len, aad, absorb, _) = OffloadOp::decode_context_full(p)?;
+        Some((op, msg_len, aad, absorb))
     }
 
-    /// Full context decoding including the Compute-DMA flag.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an unknown op byte (a malformed MMIO write).
-    pub fn decode_context_full(p: &[u8; 48]) -> (OffloadOp, usize, Vec<u8>, bool, bool) {
+    /// Full context decoding including the Compute-DMA flag. Returns
+    /// `None` for a malformed payload: the device must reject a corrupt
+    /// MMIO context write, not fault on it.
+    pub fn decode_context_full(p: &[u8; 48]) -> Option<(OffloadOp, usize, Vec<u8>, bool, bool)> {
         let dma_input = p[46] != 0;
         let absorb_metadata = p[45] != 0;
         let aad_len = p[1] as usize;
-        assert!(aad_len <= 7, "corrupt context: aad length");
-        let aad = p[2..2 + aad_len].to_vec();
-        let msg_len = u64::from_le_bytes(p[9..17].try_into().expect("8 bytes")) as usize;
+        if aad_len > 7 {
+            return None; // corrupt context: aad length
+        }
+        let aad = p.get(2..2 + aad_len)?.to_vec();
+        let msg_len = u64::from_le_bytes(take_arr(p, 9)?) as usize;
         let op = match p[0] {
             0 | 1 => {
-                let key: [u8; 16] = p[17..33].try_into().expect("16 bytes");
-                let iv: [u8; 12] = p[33..45].try_into().expect("12 bytes");
+                let key: [u8; 16] = take_arr(p, 17)?;
+                let iv: [u8; 12] = take_arr(p, 33)?;
                 if p[0] == 0 {
                     OffloadOp::TlsEncrypt { key, iv }
                 } else {
@@ -127,9 +133,9 @@ impl OffloadOp {
             }
             2 => OffloadOp::Compress,
             3 => OffloadOp::Decompress,
-            other => panic!("unknown offload op {other}"),
+            _ => return None, // unknown offload op
         };
-        (op, msg_len, aad, absorb_metadata, dma_input)
+        Some((op, msg_len, aad, absorb_metadata, dma_input))
     }
 
     /// Whether the DSA requires ordered input delivery (Algorithm 2's
@@ -400,19 +406,25 @@ mod tests {
             iv: [4u8; 12],
         };
         let ctx = op.encode_context(12345, b"hdr55");
-        let (op2, len, aad, absorb) = OffloadOp::decode_context(&ctx);
+        let (op2, len, aad, absorb) = OffloadOp::decode_context(&ctx).unwrap();
         assert_eq!(op2, op);
         assert_eq!(len, 12345);
         assert_eq!(aad, b"hdr55");
         assert!(absorb);
         let ctx = op.encode_context_with_policy(4096, b"", false);
-        assert!(!OffloadOp::decode_context(&ctx).3);
+        assert!(!OffloadOp::decode_context(&ctx).unwrap().3);
+        let mut corrupt = ctx;
+        corrupt[0] = 9; // unknown op byte
+        assert!(OffloadOp::decode_context(&corrupt).is_none());
+        let mut corrupt = ctx;
+        corrupt[1] = 200; // oversized AAD length
+        assert!(OffloadOp::decode_context(&corrupt).is_none());
     }
 
     #[test]
     fn context_round_trip_compress() {
         let ctx = OffloadOp::Compress.encode_context(4096, b"");
-        let (op, len, aad, _) = OffloadOp::decode_context(&ctx);
+        let (op, len, aad, _) = OffloadOp::decode_context(&ctx).unwrap();
         assert_eq!(op, OffloadOp::Compress);
         assert_eq!(len, 4096);
         assert!(aad.is_empty());

@@ -190,6 +190,7 @@ impl Scratchpad {
     /// Panics if the page is unallocated, `new_mask` is not a subset of
     /// the current mask, or a trimmed line is already valid.
     pub fn set_expected(&mut self, at: Cycle, page: usize, new_mask: u64) {
+        // simlint: allow(PANIC-HOT): documented "# Panics" contract, handles only come from alloc()
         let p = self.pages[page].as_mut().expect("allocated page");
         assert_eq!(
             new_mask & !p.expected_mask,
@@ -218,6 +219,7 @@ impl Scratchpad {
     /// Panics if the page is unallocated, the line is out of the expected
     /// range, or the line was already produced.
     pub fn produce(&mut self, page: usize, line: usize, data: [u8; 64]) {
+        // simlint: allow(PANIC-HOT): documented "# Panics" contract, handles only come from alloc()
         let p = self.pages[page].as_mut().expect("allocated page");
         assert!(p.expects(line), "line beyond expected output");
         assert_eq!(p.lines[line], LineState::Pending, "line already produced");
@@ -240,6 +242,7 @@ impl Scratchpad {
     ///
     /// Panics if the line is not valid.
     pub fn read(&self, page: usize, line: usize) -> [u8; 64] {
+        // simlint: allow(PANIC-HOT): documented "# Panics" contract, handles only come from alloc()
         let p = self.pages[page].as_ref().expect("allocated page");
         assert_eq!(p.lines[line], LineState::Valid, "reading a non-valid line");
         p.data[line]
@@ -253,6 +256,7 @@ impl Scratchpad {
     ///
     /// Panics if the line is not valid.
     pub fn recycle(&mut self, at: Cycle, page: usize, line: usize) -> ([u8; 64], bool) {
+        // simlint: allow(PANIC-HOT): documented "# Panics" contract, handles only come from alloc()
         let p = self.pages[page].as_mut().expect("allocated page");
         assert_eq!(p.lines[line], LineState::Valid, "recycling non-valid line");
         let data = p.data[line];
@@ -267,6 +271,7 @@ impl Scratchpad {
 
     fn maybe_free(&mut self, page: usize) -> bool {
         let done = {
+            // simlint: allow(PANIC-HOT): documented "# Panics" contract, handles only come from alloc()
             let p = self.pages[page].as_ref().expect("allocated page");
             p.recycled >= p.expected_count()
         };
@@ -287,6 +292,7 @@ impl Scratchpad {
     ///
     /// Panics if the page is not allocated.
     pub fn force_free(&mut self, at: Cycle, page: usize) {
+        // simlint: allow(PANIC-HOT): documented "# Panics" contract, handles only come from alloc()
         let p = self.pages[page].take().expect("allocated page");
         let live = (0..LINES_PER_PAGE)
             .filter(|&i| p.expects(i) && p.lines[i] != LineState::Done)

@@ -236,7 +236,13 @@ impl TranslationTable {
         let mut way = 0usize;
         for kick in 0..self.max_kicks {
             let idx = self.hash(cur.page, way);
-            let evicted = self.slots[idx].replace(cur).expect("occupied slot");
+            let Some(evicted) = self.slots[idx].replace(cur) else {
+                // The slot was free after all (cannot happen after the
+                // empty-way scan above, but an empty slot just absorbed
+                // the entry either way): the insert is complete.
+                self.stats.inserts += 1;
+                return Ok(());
+            };
             self.stats.displacements += 1;
             chain.push((idx, evicted));
             cur = evicted;

@@ -213,6 +213,21 @@ pub fn hkdf_expand_label(prk: &[u8; 32], label: &str, context: &[u8], out_len: u
     hkdf_expand(prk, &info, out_len)
 }
 
+/// `HKDF-Expand-Label` with a compile-time output size, for callers that
+/// need a fixed-width key or IV without a fallible slice conversion.
+pub fn hkdf_expand_label_arr<const N: usize>(
+    prk: &[u8; 32],
+    label: &str,
+    context: &[u8],
+) -> [u8; N] {
+    let v = hkdf_expand_label(prk, label, context, N);
+    let mut out = [0u8; N];
+    for (o, b) in out.iter_mut().zip(v) {
+        *o = b;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

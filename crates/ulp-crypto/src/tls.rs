@@ -11,7 +11,7 @@
 //! `HKDF-Expand-Label` schedule.
 
 use crate::gcm::{AesGcm, IV_LEN, TAG_LEN};
-use crate::sha256::hkdf_expand_label;
+use crate::sha256::hkdf_expand_label_arr;
 use crate::CryptoError;
 
 /// Maximum TLS plaintext fragment size (RFC 8446 §5.1).
@@ -60,11 +60,9 @@ impl TrafficKeys {
     /// `HKDF-Expand-Label` exactly as RFC 8446 §7.3 specifies
     /// (AES-128-GCM cipher suite).
     pub fn derive(traffic_secret: &[u8; 32]) -> TrafficKeys {
-        let key_bytes = hkdf_expand_label(traffic_secret, "key", b"", 16);
-        let iv_bytes = hkdf_expand_label(traffic_secret, "iv", b"", IV_LEN);
         TrafficKeys {
-            key: key_bytes.try_into().expect("16-byte key"),
-            iv: iv_bytes.try_into().expect("12-byte iv"),
+            key: hkdf_expand_label_arr(traffic_secret, "key", b""),
+            iv: hkdf_expand_label_arr(traffic_secret, "iv", b""),
         }
     }
 
@@ -205,7 +203,10 @@ impl RecordLayer {
         if record.len() < HEADER_LEN + TAG_LEN + 1 {
             return Err(CryptoError::MalformedRecord);
         }
-        let header: [u8; HEADER_LEN] = record[..HEADER_LEN].try_into().expect("header");
+        let header: [u8; HEADER_LEN] = record
+            .get(..HEADER_LEN)
+            .and_then(|h| h.try_into().ok())
+            .ok_or(CryptoError::MalformedRecord)?;
         if header[0] != ContentType::ApplicationData.to_byte()
             || header[1] != 0x03
             || header[2] != 0x03
@@ -220,7 +221,9 @@ impl RecordLayer {
             return Err(CryptoError::MalformedRecord);
         }
         let (ct, tag_bytes) = record[HEADER_LEN..].split_at(ct_len - TAG_LEN);
-        let tag: [u8; TAG_LEN] = tag_bytes.try_into().expect("tag");
+        let tag: [u8; TAG_LEN] = tag_bytes
+            .try_into()
+            .map_err(|_| CryptoError::MalformedRecord)?;
         let nonce = self.keys.nonce(self.seq);
         let mut inner = self.gcm.open(&nonce, &header, ct, &tag)?;
         self.seq += 1;
