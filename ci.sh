@@ -30,4 +30,12 @@ cargo build --release || status=1
 echo "==> cargo test --release --workspace"
 cargo test --release --workspace -q || status=1
 
+# Hot-path bench smoke: tiny iteration counts — asserts the harness
+# runs and BENCH_hotpaths.json is produced and parses (check mode).
+# Ratios in smoke mode are not meaningful; committed numbers come from
+# a `-- full` run (DESIGN.md §7).
+echo "==> bench_hotpaths smoke + check"
+cargo run --release -p bench --bin bench_hotpaths -q -- smoke || status=1
+cargo run --release -p bench --bin bench_hotpaths -q -- check || status=1
+
 exit "$status"

@@ -3,10 +3,18 @@
 //!
 //! Every `fig*`/`table*`/`ablate*`/`micro*` binary in `src/bin/` prints
 //! its table to stdout *and* writes machine-readable results under
-//! `results/` at the workspace root, which `EXPERIMENTS.md` references.
+//! `results/` at the workspace root, which `EXPERIMENTS.md` references
+//! (its appendix maps each artifact back to the binary regenerating it).
+//!
+//! The [`harness`] module is the exception to the figure-reproduction
+//! rule: it times the *simulator's own* hot paths (wall-clock, not
+//! simulated cycles) for the `bench_hotpaths` binary, which writes
+//! `BENCH_hotpaths.json` at the repo root. See DESIGN.md §7.
 
 use std::fs;
 use std::path::PathBuf;
+
+pub mod harness;
 
 /// Resolves (and creates) the workspace-level `results/` directory.
 pub fn results_dir() -> PathBuf {

@@ -141,6 +141,32 @@ impl CacheStats {
     }
 }
 
+/// Multiply-xor hasher for the page-residency index: the keys are page
+/// numbers (already well-distributed), so SipHash's DoS hardening would
+/// only add latency to every allocate/evict.
+#[derive(Default)]
+struct PageHasher(u64);
+
+impl std::hash::Hasher for PageHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 ^= self.0 >> 32;
+    }
+}
+
+// simlint: allow(DET-HASH): fixed deterministic hasher (no seed) and the map is only probed by key, never iterated
+type PageMap = std::collections::HashMap<u64, u32, std::hash::BuildHasherDefault<PageHasher>>;
+
 /// The last-level cache.
 pub struct Llc {
     config: CacheConfig,
@@ -149,6 +175,10 @@ pub struct Llc {
     /// Allocation way-mask per class id (CAT); bit i = way i allowed.
     masks: Vec<u64>,
     stats: CacheStats,
+    /// Valid-line count per 4 KB page, maintained at every allocate and
+    /// invalidate: lets page-granular operations (batched copies, range
+    /// flushes) skip 64 per-line set scans with one probe.
+    page_lines: PageMap,
     // Windowed miss-rate sampling.
     window_accesses: u64,
     window_misses: u64,
@@ -195,6 +225,7 @@ impl Llc {
             use_clock: 0,
             masks,
             stats: CacheStats::default(),
+            page_lines: PageMap::default(),
             window_accesses: 0,
             window_misses: 0,
             last_window_rate: 0.0,
@@ -285,6 +316,35 @@ impl Llc {
         self.sets[set].iter().position(|l| l.valid && l.tag == tag)
     }
 
+    /// Counts `addr`'s page into the residency index.
+    fn page_inc(&mut self, addr: PhysAddr) {
+        *self.page_lines.entry(addr.0 >> 12).or_insert(0) += 1;
+    }
+
+    /// Removes the line at `(set, tag)` from the residency index.
+    fn page_dec(&mut self, set: usize, tag: u64) {
+        let page = ((tag * self.sets.len() as u64 + set as u64) << 6) >> 12;
+        match self.page_lines.get_mut(&page) {
+            Some(1) => {
+                self.page_lines.remove(&page);
+            }
+            Some(n) => *n -= 1,
+            None => debug_assert!(false, "valid line missing from page index"),
+        }
+    }
+
+    /// Replaces `sets[set][w]` with a fresh valid line, keeping the
+    /// page-residency index in step (the evicted line, if valid, leaves
+    /// its page; the new line joins `addr`'s page).
+    fn install(&mut self, set: usize, w: usize, addr: PhysAddr, line: Line) {
+        let old = self.sets[set][w];
+        if old.valid {
+            self.page_dec(set, old.tag);
+        }
+        self.page_inc(addr);
+        self.sets[set][w] = line;
+    }
+
     /// Picks the LRU way among those allowed for `class`, returning the
     /// way index and any writeback needed to vacate it.
     fn victimize(&mut self, set: usize, class: usize) -> (usize, Option<Writeback>) {
@@ -346,13 +406,18 @@ impl Llc {
         self.note_access(false);
         let data = fill(addr);
         let (w, wb) = self.victimize(set, class);
-        self.sets[set][w] = Line {
-            tag,
-            valid: true,
-            dirty: false,
-            last_use: self.use_clock,
-            data,
-        };
+        self.install(
+            set,
+            w,
+            addr,
+            Line {
+                tag,
+                valid: true,
+                dirty: false,
+                last_use: self.use_clock,
+                data,
+            },
+        );
         (
             data,
             CacheEvent {
@@ -380,13 +445,18 @@ impl Llc {
         }
         self.note_access(false);
         let (w, wb) = self.victimize(set, class);
-        self.sets[set][w] = Line {
-            tag,
-            valid: true,
-            dirty: true,
-            last_use: self.use_clock,
-            data,
-        };
+        self.install(
+            set,
+            w,
+            addr,
+            Line {
+                tag,
+                valid: true,
+                dirty: true,
+                last_use: self.use_clock,
+                data,
+            },
+        );
         CacheEvent {
             hit: false,
             writeback: wb,
@@ -433,6 +503,7 @@ impl Llc {
             self.stats.flushes += 1;
             let line = self.sets[set][w];
             self.sets[set][w].valid = false;
+            self.page_dec(set, tag);
             if line.dirty {
                 return Some(Writeback {
                     addr,
@@ -450,6 +521,7 @@ impl Llc {
         let (set, tag) = self.index(addr);
         if let Some(w) = self.find(set, tag) {
             self.sets[set][w].valid = false;
+            self.page_dec(set, tag);
         }
     }
 
@@ -465,6 +537,14 @@ impl Llc {
         self.sets[set]
             .iter()
             .any(|l| l.valid && l.dirty && l.tag == tag)
+    }
+
+    /// Number of valid lines resident in the 4 KB page numbered `page`
+    /// (`addr >> 12`). O(1) — one probe of the residency index instead
+    /// of 64 per-line set scans; zero means a page-granular operation
+    /// may bypass the cache entirely.
+    pub fn resident_lines_in_page(&self, page: u64) -> u32 {
+        self.page_lines.get(&page).copied().unwrap_or(0)
     }
 
     /// Number of valid lines currently resident.
@@ -656,6 +736,49 @@ mod tests {
     #[should_panic(expected = "empty way mask")]
     fn zero_mask_rejected() {
         tiny().set_way_mask(0, 0);
+    }
+
+    #[test]
+    fn page_residency_index_tracks_contents() {
+        let mut c = tiny();
+        let check = |c: &Llc| {
+            // The index must agree with a brute-force per-line count for
+            // every page the 2 KiB geometry can hold (tags wrap quickly,
+            // so scan a generous window of pages).
+            for page in 0u64..64 {
+                let naive = (0..64u64)
+                    .filter(|i| c.contains(PhysAddr((page << 12) + i * 64)))
+                    .count() as u32;
+                assert_eq!(
+                    c.resident_lines_in_page(page),
+                    naive,
+                    "page {page} index vs scan"
+                );
+            }
+        };
+        check(&c);
+        // Fill far beyond capacity to force evictions of both kinds.
+        for i in 0..200u64 {
+            if i % 3 == 0 {
+                c.write_line(PhysAddr(i * 64), 0, [i as u8; 64]);
+            } else {
+                c.read_line(PhysAddr(i * 64), 0, |_| [0u8; 64]);
+            }
+        }
+        check(&c);
+        // Explicit flushes and invalidates.
+        for i in (0..200u64).step_by(2) {
+            c.flush_line(PhysAddr(i * 64));
+        }
+        for i in (1..200u64).step_by(7) {
+            c.invalidate_line(PhysAddr(i * 64));
+        }
+        check(&c);
+        assert_eq!(
+            c.resident_lines() as u32,
+            (0u64..64).map(|p| c.resident_lines_in_page(p)).sum::<u32>(),
+            "index totals must match global resident count"
+        );
     }
 
     proptest! {

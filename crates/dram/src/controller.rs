@@ -386,6 +386,115 @@ impl DramSystem {
         data_at + t.t_burst
     }
 
+    /// Batched whole-page read: all 64 cachelines of the 4 KB page
+    /// containing `base`, with a *single* buffer-device interception.
+    ///
+    /// Returns `None` when batching is not applicable — the page spans
+    /// multiple channels under fine-grain interleaving, or the buffer
+    /// device declines (`page_read_supported` is false, e.g. a SmartDIMM
+    /// destination page whose lines may need `ALERT_N` retries). Callers
+    /// must then fall back to per-line [`DramSystem::read64`]; nothing
+    /// has been mutated when `None` is returned.
+    ///
+    /// Data, `rd_cas` and activate/row-hit accounting are identical to 64
+    /// per-line reads. Timing is modeled as one pipelined stream: every
+    /// touched bank opens its row once, then the 64 bursts ship
+    /// back-to-back on the data bus (one CAS latency for the whole page
+    /// instead of 64 serialized ones) — that is what a page-granular
+    /// buffer-device transfer buys, and why the fast path is faster in
+    /// simulated time as well as host wall-clock.
+    pub fn read_page(&mut self, base: PhysAddr) -> Option<(Box<[[u8; 64]; 64]>, u64)> {
+        self.read_page_tagged(base, 0)
+    }
+
+    /// [`DramSystem::read_page`] with a stream tag recorded in the trace.
+    pub fn read_page_tagged(
+        &mut self,
+        base: PhysAddr,
+        tag: u64,
+    ) -> Option<(Box<[[u8; 64]; 64]>, u64)> {
+        const LINES: usize = 64;
+        let base = PhysAddr(base.0 & !0xFFF);
+        let locs: [crate::addr::Loc; LINES] =
+            std::array::from_fn(|i| self.mapper.decode(PhysAddr(base.0 + (i as u64) * 64)));
+        let channel = locs[0].channel;
+        if locs.iter().any(|l| l.channel != channel) {
+            return None; // page striped across channels: per-line path
+        }
+        if !self.channels[channel].dimm.page_read_supported(base) {
+            return None;
+        }
+        let t = self.timing;
+        let start = self.refresh_gate(channel, self.now);
+        let mut coords = [(0usize, 0usize, 0usize, 0usize); LINES];
+        // Each touched (rank, bank, row) opens once; every further line
+        // on it is a row hit, exactly as the per-line path would count
+        // (re-opening an already-open row is a stateless hit there).
+        let mut groups: Vec<(usize, usize, usize)> = Vec::with_capacity(LINES);
+        let mut cas_ready_max = start;
+        for (i, loc) in locs.iter().enumerate() {
+            let bank_index = loc.bank_index(self.mapper.topology());
+            coords[i] = (loc.rank, bank_index, loc.row, loc.col);
+            let key = (loc.rank, bank_index, loc.row);
+            if groups.contains(&key) {
+                self.stats.row_hits.inc();
+                continue;
+            }
+            groups.push(key);
+            let (cas_ready, activated, precharged) = {
+                let bank = &mut self.channels[channel].banks[loc.rank][bank_index];
+                bank.open_row(start, loc.row, &t)
+            };
+            if precharged {
+                self.stats.precharges.inc();
+                self.channels[channel]
+                    .dimm
+                    .precharge(cas_ready, loc.rank, bank_index);
+            }
+            if activated {
+                self.stats.activates.inc();
+                self.channels[channel]
+                    .dimm
+                    .activate(cas_ready, loc.rank, bank_index, loc.row);
+            } else {
+                self.stats.row_hits.inc();
+            }
+            if cas_ready > cas_ready_max {
+                cas_ready_max = cas_ready;
+            }
+        }
+        // One streamed transfer: CAS once all rows are open, then 64
+        // back-to-back bursts on the data bus.
+        let ch = &mut self.channels[channel];
+        let mut issue = Cycle(cas_ready_max.raw().max(ch.bus_free.raw()));
+        if ch.bus_dir == BusDir::Write {
+            issue += t.t_wtr;
+        }
+        let last_issue = issue + (LINES as u64 - 1) * t.t_burst;
+        let done = last_issue + t.t_cl + t.t_burst;
+        ch.bus_free = done;
+        ch.bus_dir = BusDir::Read;
+        ch.busy_cycles += LINES as u64 * t.t_burst;
+        for &(rank, bank_index, _) in &groups {
+            ch.banks[rank][bank_index].on_read(last_issue, &t);
+        }
+        self.stats.rd_cas.add(LINES as u64);
+        if self.trace.is_enabled() {
+            for i in 0..LINES {
+                self.trace.record(
+                    issue + (i as u64) * t.t_burst,
+                    "rdCAS",
+                    base.0 + (i as u64) * 64,
+                    tag,
+                );
+            }
+        }
+        let data = self.channels[channel]
+            .dimm
+            .rd_page(base, issue, t.t_burst, &coords);
+        Some((data, done.saturating_since(self.now)))
+    }
+
     /// Functional convenience: reads a byte range spanning cachelines
     /// (debug/test use; does not model partial-line merging).
     pub fn read_bytes(&mut self, addr: PhysAddr, len: usize) -> Vec<u8> {
@@ -577,6 +686,55 @@ mod tests {
             acts + 1,
             "row reopened after refresh"
         );
+    }
+
+    #[test]
+    fn page_read_matches_per_line_reads() {
+        let mut a = sys();
+        let mut b = sys();
+        for i in 0..64u64 {
+            let mut line = [0u8; 64];
+            line[0] = i as u8;
+            line[63] = !i as u8;
+            a.write64(PhysAddr(0x4000 + i * 64), &line);
+            b.write64(PhysAddr(0x4000 + i * 64), &line);
+        }
+        a.advance(10_000);
+        b.advance(10_000);
+        let (page, lat) = a
+            .read_page(PhysAddr(0x4000))
+            .expect("passthrough supports pages");
+        for i in 0..64usize {
+            let (line, _) = b.read64(PhysAddr(0x4000 + (i as u64) * 64));
+            assert_eq!(page[i], line, "line {i}");
+        }
+        assert!(lat > 0);
+        // Same CAS count and bank behaviour as 64 per-line reads.
+        assert_eq!(a.stats().rd_cas.value(), b.stats().rd_cas.value());
+        assert_eq!(a.stats().activates.value(), b.stats().activates.value());
+    }
+
+    #[test]
+    fn page_read_normalizes_unaligned_base() {
+        let mut s = sys();
+        s.write64(PhysAddr(0x7000), &[0x42u8; 64]);
+        let (page, _) = s.read_page(PhysAddr(0x70B0)).expect("aligned down");
+        assert_eq!(page[0], [0x42u8; 64]);
+    }
+
+    #[test]
+    fn page_read_declines_when_page_spans_channels() {
+        let topo = DramTopology {
+            channels: 2,
+            ..DramTopology::default()
+        };
+        let mut s = DramSystem::new(MemorySystemConfig {
+            topology: topo,
+            ..MemorySystemConfig::default()
+        });
+        assert!(s.read_page(PhysAddr(0)).is_none());
+        // The per-line path still works.
+        let _ = s.read64(PhysAddr(0));
     }
 
     #[test]

@@ -72,6 +72,33 @@ pub trait BufferDevice {
     /// result is what (if anything) reaches the DRAM chips.
     fn on_wr_cas(&mut self, info: &CasInfo, host_data: &[u8; 64]) -> WrResult;
 
+    /// Whether the device can service a *batched* read of the whole 4 KB
+    /// page at `base` (page aligned) — i.e. it guarantees every line of
+    /// the page would answer `RdResult::Data` with no per-line
+    /// interception outcome the batch cannot express (no `Retry`, no
+    /// MMIO). Default: no; the controller then uses per-line reads.
+    fn page_read_supported(&mut self, _base: PhysAddr) -> bool {
+        false
+    }
+
+    /// Batched read of the 64 cachelines of the page at `base`. `data`
+    /// arrives holding the DRAM chips' contents; the device may mutate
+    /// lines in place and performs any per-line side effects (e.g. DSA
+    /// feeds) with a single translation probe for the whole page. Line
+    /// `i`'s burst issues at `first_at + i * stride` — the same instants
+    /// the per-line path would present as `CasInfo::at`, so time-stamped
+    /// device state (scratchpad produce times, slack) matches. Called
+    /// only directly after [`BufferDevice::page_read_supported`]
+    /// returned `true` for `base`.
+    fn on_rd_page(
+        &mut self,
+        _base: PhysAddr,
+        _first_at: Cycle,
+        _stride: u64,
+        _data: &mut [[u8; 64]; 64],
+    ) {
+    }
+
     /// Downcast support so hosts can reach device-specific state (e.g.
     /// SmartDIMM statistics) after installation.
     fn as_any_mut(&mut self) -> &mut dyn Any;
@@ -90,17 +117,24 @@ impl BufferDevice for Passthrough {
     fn on_wr_cas(&mut self, _info: &CasInfo, host_data: &[u8; 64]) -> WrResult {
         WrResult::Commit(*host_data)
     }
+    fn page_read_supported(&mut self, _base: PhysAddr) -> bool {
+        // A plain DIMM never retries and never substitutes data.
+        true
+    }
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }
 }
+
+/// A DRAM cell coordinate: `(rank, bank_index, row, col)`.
+pub type CellCoord = (usize, usize, usize, usize);
 
 /// One DIMM: sparse DRAM storage plus its buffer device.
 ///
 /// Storage is keyed by DRAM coordinates, not physical address — the chips
 /// know nothing about the system address map.
 pub struct Dimm {
-    cells: BTreeMap<(usize, usize, usize, usize), [u8; 64]>, // (rank, bank_index, row, col)
+    cells: BTreeMap<CellCoord, [u8; 64]>,
     buffer: Box<dyn BufferDevice>,
 }
 
@@ -156,6 +190,50 @@ impl Dimm {
         let key = (info.loc.rank, info.bank_index, info.loc.row, info.loc.col);
         let dram = self.cells.get(&key).copied().unwrap_or([0u8; 64]);
         self.buffer.on_rd_cas(info, &dram)
+    }
+
+    /// Whether the buffer device supports a batched page read at `base`.
+    pub fn page_read_supported(&mut self, base: PhysAddr) -> bool {
+        self.buffer.page_read_supported(base)
+    }
+
+    /// Performs a batched page read: gathers the 64 DRAM lines at the
+    /// given `(rank, bank_index, row, col)` coordinates, then lets the
+    /// buffer device intercept the whole page at once.
+    pub fn rd_page(
+        &mut self,
+        base: PhysAddr,
+        first_at: Cycle,
+        stride: u64,
+        coords: &[CellCoord; 64],
+    ) -> Box<[[u8; 64]; 64]> {
+        let mut data = Box::new([[0u8; 64]; 64]);
+        // Page lines stripe across banks, so sorted by coordinate they
+        // form a handful of runs of consecutive columns in one
+        // (rank, bank, row). Each run is one ordered range scan of the
+        // cell map instead of 64 independent tree descents.
+        let mut order: [(&CellCoord, usize); 64] = std::array::from_fn(|i| (&coords[i], i));
+        order.sort_unstable_by_key(|&(key, _)| key);
+        let mut g = 0;
+        while g < order.len() {
+            let (lo, _) = order[g];
+            let mut h = g + 1;
+            while h < order.len() {
+                let (k, _) = order[h];
+                if (k.0, k.1, k.2) == (lo.0, lo.1, lo.2) && k.3 == order[h - 1].0 .3 + 1 {
+                    h += 1;
+                } else {
+                    break;
+                }
+            }
+            let (hi, _) = order[h - 1];
+            for (key, cell) in self.cells.range(*lo..=*hi) {
+                data[order[g + (key.3 - lo.3)].1] = *cell;
+            }
+            g = h;
+        }
+        self.buffer.on_rd_page(base, first_at, stride, &mut data);
+        data
     }
 
     /// Performs a write CAS: lets the buffer device intercept, then

@@ -78,7 +78,7 @@ impl Default for CostModel {
 }
 
 /// Configuration for the host memory system.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct MemConfig {
     /// DRAM topology / timing / tracing.
     pub dram: MemorySystemConfig,
@@ -87,6 +87,25 @@ pub struct MemConfig {
     pub llc: Option<CacheConfig>,
     /// CPU-side costs.
     pub cost: CostModel,
+    /// Use the batched whole-page `memcpy` fast path: one buffer-device
+    /// interception (translation probe) per 4 KB page instead of one per
+    /// 64 B line. Taken only for unordered, page-aligned, DRAM-resident
+    /// spans with no background co-runner; everything else — and any
+    /// page the buffer device declines, e.g. a SmartDIMM destination
+    /// range — stays on the per-line reference path. Disable to force
+    /// per-line behaviour everywhere (the differential oracle does).
+    pub batch_page_copy: bool,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig {
+            dram: MemorySystemConfig::default(),
+            llc: None,
+            cost: CostModel::default(),
+            batch_page_copy: true,
+        }
+    }
 }
 
 /// Summary of a range flush.
@@ -142,6 +161,10 @@ pub struct MemSystem {
     deferred_wb: Vec<(PhysAddr, [u8; 64])>,
     /// Flushes the fault injector disturbed (reordered or deferred).
     fault_disturbances: u64,
+    /// Whether `memcpy` may take the batched whole-page fast path.
+    batch_page_copy: bool,
+    /// Pages copied via the batched fast path (for tests/benchmarks).
+    page_copies: u64,
 }
 
 impl std::fmt::Debug for MemSystem {
@@ -167,7 +190,14 @@ impl MemSystem {
             fault: None,
             deferred_wb: Vec::new(),
             fault_disturbances: 0,
+            batch_page_copy: config.batch_page_copy,
+            page_copies: 0,
         }
+    }
+
+    /// Pages `memcpy` moved via the batched whole-page fast path.
+    pub fn page_copies(&self) -> u64 {
+        self.page_copies
     }
 
     /// Installs a fault injector; `flush` consults it for writeback
@@ -386,7 +416,20 @@ impl MemSystem {
             src.is_line_aligned() && dst.is_line_aligned(),
             "memcpy alignment"
         );
+        const PAGE_BYTES: usize = 4096;
         let mut off = 0u64;
+        // Batched whole-page fast path (unordered copies only — ordered
+        // mode's per-line fences are the point of that mode; background
+        // co-runners need per-line interleaving to contend realistically).
+        if self.batch_page_copy && !ordered && self.bg.is_none() {
+            while (off as usize) + PAGE_BYTES <= size
+                && (src.0 + off).is_multiple_of(PAGE_BYTES as u64)
+                && (dst.0 + off).is_multiple_of(PAGE_BYTES as u64)
+                && self.page_copy(PhysAddr(dst.0 + off), PhysAddr(src.0 + off), class)
+            {
+                off += PAGE_BYTES as u64;
+            }
+        }
         while (off as usize) < size {
             let take = (size - off as usize).min(CACHELINE);
             let mut data = self.load_line(PhysAddr(src.0 + off), class);
@@ -402,6 +445,42 @@ impl MemSystem {
             }
             off += take as u64;
         }
+    }
+
+    /// Copies one 4 KB page with a single batched DRAM/buffer-device
+    /// interception. Returns `false` — with *nothing* mutated — when the
+    /// batch does not apply: a source line is LLC-resident (the per-line
+    /// path would serve it from cache, not DRAM) or the DRAM system
+    /// declines (page spans channels, buffer device wants per-line CAS).
+    ///
+    /// The source page is *streamed*: it arrives in one batched DRAM
+    /// read (same 64 `rd_cas`, one pipelined latency) and is fed to the
+    /// destination without being allocated in the LLC, like a
+    /// non-temporal copy. Destination lines are still written through
+    /// the cache with the same write-allocate, eviction and
+    /// backpressure behavior as `store_line`, so copied bytes are
+    /// byte-identical to the per-line path.
+    fn page_copy(&mut self, dst: PhysAddr, src: PhysAddr, class: usize) -> bool {
+        if self.llc.resident_lines_in_page(src.0 >> 12) != 0 {
+            return false;
+        }
+        let Some((page, dram_latency)) = self.dram.read_page_tagged(src, class as u64) else {
+            return false;
+        };
+        let cost = self.cost;
+        for i in 0..64usize {
+            let ev = self
+                .llc
+                .write_line(PhysAddr(dst.0 + (i as u64) * 64), class, page[i]);
+            if let Some(wb) = ev.writeback {
+                let done = self.dram.write64_tagged(wb.addr, &wb.data, class as u64);
+                self.write_backpressure(done);
+            }
+            self.dram.advance(cost.llc_hit + cost.copy_per_line);
+        }
+        self.dram.advance(dram_latency);
+        self.page_copies += 1;
+        true
     }
 
     /// `clflush` over a byte range: invalidates every covered line,
@@ -424,6 +503,19 @@ impl MemSystem {
         if !reorder && delay == 0 {
             let mut cur = start;
             while cur < end {
+                // Whole page with nothing resident: every line takes the
+                // absent branch below, so charge the identical cycles in
+                // one step instead of 64 set scans.
+                if cur.is_multiple_of(4096)
+                    && cur + 4096 <= end
+                    && self.llc.resident_lines_in_page(cur >> 12) == 0
+                {
+                    report.lines += 64;
+                    report.cycles += 64 * self.cost.flush_absent;
+                    self.dram.advance(64 * self.cost.flush_absent);
+                    cur += 4096;
+                    continue;
+                }
                 let line = PhysAddr(cur);
                 report.lines += 1;
                 if self.llc.contains(line) {
@@ -639,6 +731,56 @@ mod tests {
         m.load(dst, &mut buf, 0);
         assert_eq!(&buf[..100], &[0x11u8; 100][..]);
         assert_eq!(&buf[100..128], &[0xFFu8; 28][..]);
+    }
+
+    #[test]
+    fn batched_page_copy_matches_per_line() {
+        let mk = |batch| {
+            MemSystem::new(MemConfig {
+                llc: Some(CacheConfig::kb(16, 4)),
+                batch_page_copy: batch,
+                ..MemConfig::default()
+            })
+        };
+        let mut a = mk(true);
+        let mut b = mk(false);
+        let src = PhysAddr(0x10000);
+        let dst = PhysAddr(0x20000);
+        let payload: Vec<u8> = (0..8192u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 7) as u8)
+            .collect();
+        for m in [&mut a, &mut b] {
+            m.store(src, &payload, 0);
+            // Evict the source so every line misses — the precondition
+            // under which the batched path is allowed to engage.
+            m.flush(src, 8192);
+            m.memcpy(dst, src, 8192, 0, false);
+        }
+        assert_eq!(a.page_copies(), 2, "both pages took the batched path");
+        assert_eq!(b.page_copies(), 0);
+        // DRAM read traffic is identical: both paths miss all 128 lines.
+        assert_eq!(
+            a.dram().stats().rd_cas.value(),
+            b.dram().stats().rd_cas.value()
+        );
+        let mut got_a = vec![0u8; 8192];
+        let mut got_b = vec![0u8; 8192];
+        a.load(dst, &mut got_a, 0);
+        b.load(dst, &mut got_b, 0);
+        assert_eq!(got_a, payload);
+        assert_eq!(got_a, got_b);
+    }
+
+    #[test]
+    fn page_copy_declines_when_source_is_cached() {
+        let mut m = small(); // batch_page_copy defaults to true
+        let src = PhysAddr(0x4000);
+        m.store(src, &[7u8; 4096], 0); // source lines LLC-resident
+        m.memcpy(PhysAddr(0x8000), src, 4096, 0, false);
+        assert_eq!(m.page_copies(), 0, "cached source must stay per-line");
+        let mut buf = vec![0u8; 4096];
+        m.load(PhysAddr(0x8000), &mut buf, 0);
+        assert_eq!(buf, vec![7u8; 4096]);
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod events;
 pub mod fault;
 pub mod rng;
 pub mod stats;
+pub mod timer;
 pub mod trace;
 
 pub use clock::{Cycle, Freq, SimClock};

@@ -154,7 +154,10 @@ impl Histogram {
     }
 
     /// Approximate quantile `q` in `[0, 1]`, resolved to bucket upper
-    /// bounds. Returns `None` if the histogram is empty.
+    /// bounds and clamped to the exact recorded maximum (so a sparse
+    /// histogram never reports a quantile above any observed sample).
+    /// Samples that landed in the overflow bucket resolve to the maximum.
+    /// Returns `None` if the histogram is empty.
     ///
     /// # Panics
     ///
@@ -164,12 +167,13 @@ impl Histogram {
         if self.count == 0 {
             return None;
         }
+        let max = self.max.expect("non-empty histogram has a max");
         let target = (q * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return Some((i as u64 + 1) * self.bucket_width);
+                return Some(((i as u64 + 1) * self.bucket_width).min(max));
             }
         }
         self.max
@@ -405,6 +409,63 @@ mod tests {
     fn histogram_empty_quantile() {
         let h = Histogram::new("h", 1, 4);
         assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(1.0), None);
+    }
+
+    #[test]
+    fn histogram_quantile_clamps_to_recorded_max() {
+        // A single sample of 0 lands in bucket [0, 10); the bucket's upper
+        // bound is 10, but no sample that large was ever seen.
+        let mut h = Histogram::new("h", 10, 4);
+        h.record(0);
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.quantile(0.5), Some(0));
+        assert_eq!(h.quantile(1.0), Some(0));
+    }
+
+    #[test]
+    fn histogram_quantile_single_bucket() {
+        let mut h = Histogram::new("h", 100, 1);
+        for v in [3, 7, 42] {
+            h.record(v);
+        }
+        // Everything is in one bucket; the best resolution is its upper
+        // bound, clamped to the true max.
+        assert_eq!(h.quantile(0.0), Some(42));
+        assert_eq!(h.quantile(1.0), Some(42));
+    }
+
+    #[test]
+    fn histogram_quantile_extremes() {
+        let mut h = Histogram::new("h", 1, 100);
+        for v in 10..20 {
+            h.record(v);
+        }
+        // q=0 resolves to the first occupied bucket, q=1 to the last.
+        assert_eq!(h.quantile(0.0), Some(11));
+        assert_eq!(h.quantile(1.0), Some(19));
+    }
+
+    #[test]
+    fn histogram_quantile_overflow_bucket() {
+        let mut h = Histogram::new("h", 10, 2); // covers [0, 20)
+        h.record(5);
+        h.record(1000); // overflow
+        h.record(2000); // overflow
+                        // The upper quantiles live in the overflow bucket, which has no
+                        // upper bound; they resolve to the exact recorded max.
+        assert_eq!(h.quantile(0.1), Some(10)); // bucket [0, 10) upper bound
+        assert_eq!(h.quantile(0.9), Some(2000));
+        assert_eq!(h.quantile(1.0), Some(2000));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn histogram_quantile_rejects_out_of_range() {
+        let mut h = Histogram::new("h", 1, 4);
+        h.record(1);
+        let _ = h.quantile(1.5);
     }
 
     #[test]

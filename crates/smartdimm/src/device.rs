@@ -104,6 +104,9 @@ pub struct DeviceStats {
     pub bank_desyncs: u64,
     /// DSA output lines with no registered destination page to stage in.
     pub orphan_lines: u64,
+    /// Whole-page source feeds accepted via the batched read protocol
+    /// (one Translation Table probe per 4 KB page instead of per line).
+    pub page_feeds: u64,
 }
 
 #[derive(Debug)]
@@ -778,6 +781,86 @@ impl BufferDevice for SmartDimmDevice {
                     LineState::Done => RdResult::Data(*dram_data),
                 }
             }
+        }
+    }
+
+    fn page_read_supported(&mut self, base: PhysAddr) -> bool {
+        // Batched page reads bypass the per-line CAS interception, so they
+        // are only safe when nothing on this page needs per-line handling:
+        //  * config-space reads must go through the MMIO handler,
+        //  * destination pages can hold Pending lines that demand a Retry
+        //    (inexpressible in a batch),
+        //  * an installed fault handle must see each source feed
+        //    individually to decide which ones to drop.
+        if self.fault.is_some() {
+            return false;
+        }
+        if self.in_config_space(base) || self.in_config_space(PhysAddr(base.0 + 0xFFF)) {
+            return false;
+        }
+        !matches!(self.xlat.peek(base.page()), Some(Mapping::Dest { .. }))
+    }
+
+    fn on_rd_page(
+        &mut self,
+        base: PhysAddr,
+        first_at: Cycle,
+        stride: u64,
+        // simlint: allow(PANIC-INDEX): fixed-size array type annotation, not an indexing expression
+        data: &mut [[u8; 64]; 64],
+    ) {
+        // S6 for a whole page at once: one Translation Table probe covers
+        // all 64 lines (they share a page number). Unmapped pages pass
+        // through untouched, exactly like the per-line S4 path.
+        let Some(Mapping::Source {
+            offload,
+            msg_offset,
+        }) = self.xlat.lookup(base.page())
+        else {
+            return;
+        };
+        self.stats.page_feeds += 1;
+        let Some(off) = self.offloads.get_mut(&offload) else {
+            return;
+        };
+        if off.dma_input {
+            return; // Compute DMA: the DSA is fed by writes, not reads.
+        }
+        let mut completion = None;
+        let mut completed_at = first_at;
+        for (line_in_page, line) in data.iter().enumerate() {
+            // Line i's burst issues i strides after the first — the same
+            // instant the per-line path would stamp in `CasInfo::at`, so
+            // scratchpad produce times (and thus the slack histogram)
+            // match the serialized command stream.
+            let at = first_at + (line_in_page as u64) * stride;
+            let byte_offset = msg_offset + line_in_page * 64;
+            if byte_offset >= off.msg_len {
+                break; // tail beyond message
+            }
+            let line_index = byte_offset / 64;
+            if off.processed[line_index] {
+                continue; // repeat read
+            }
+            off.processed[line_index] = true;
+            let valid = (off.msg_len - byte_offset).min(64);
+            let out = off.dsa.process_line(byte_offset, line, valid);
+            self.stats.dsa_lines += 1;
+            Self::stage_outputs(
+                &mut self.scratchpad,
+                &mut self.produce_time,
+                &mut self.stats,
+                off,
+                at,
+                &out.produced,
+            );
+            if out.completion.is_some() {
+                completion = out.completion;
+                completed_at = at;
+            }
+        }
+        if let Some(c) = completion {
+            self.finalize(completed_at, offload, c);
         }
     }
 

@@ -119,6 +119,49 @@ fn run_sequence(host: &mut CompCpyHost, ops: &[Op]) {
     }
 }
 
+/// Differential oracle for the batched CompCpy fast path: the same
+/// offload sequence through a batching host and a per-line host must
+/// feed the DSAs identically and produce software-identical bytes
+/// (`run_sequence` asserts every output against the software oracles).
+#[test]
+fn batched_page_feeds_match_per_line_feeds() {
+    let ops = vec![
+        Op::TlsEncrypt {
+            size: 8192,
+            seed: 1,
+        },
+        Op::TlsDecrypt {
+            size: 12_000,
+            seed: 2,
+        },
+        Op::Compress {
+            size: 4096,
+            seed: 3,
+            kind: 0,
+        },
+        Op::Decompress { seed: 4 },
+        Op::TlsEncrypt {
+            size: 4096,
+            seed: 5,
+        },
+    ];
+    let mut batched = CompCpyHost::new(HostConfig::default());
+    let mut cfg = HostConfig::default();
+    cfg.mem.batch_page_copy = false;
+    let mut per_line = CompCpyHost::new(cfg);
+    run_sequence(&mut batched, &ops);
+    run_sequence(&mut per_line, &ops);
+
+    let bs = batched.device_stats();
+    let ps = per_line.device_stats();
+    assert!(bs.page_feeds > 0, "batched page protocol engaged");
+    assert_eq!(ps.page_feeds, 0, "per-line host must not batch");
+    // The exact same source lines reach the DSAs either way.
+    assert_eq!(bs.dsa_lines, ps.dsa_lines);
+    assert_eq!(bs.offloads_completed, ps.offloads_completed);
+    assert_eq!(bs.orphan_lines, ps.orphan_lines);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 

@@ -185,6 +185,28 @@ impl Default for MatcherConfig {
 const HASH_BITS: usize = 15;
 const HASH_SIZE: usize = 1 << HASH_BITS;
 
+/// Length of the common prefix of `data[cand..]` and `data[pos..]`, capped
+/// at `max_len`. Compares eight bytes per step and pinpoints the diverging
+/// byte with a trailing-zero count, falling back to byte steps only for
+/// the sub-word tail. Requires `cand < pos` and `pos + max_len <= data.len()`.
+#[inline]
+fn match_len(data: &[u8], cand: usize, pos: usize, max_len: usize) -> usize {
+    let mut l = 0;
+    while l + 8 <= max_len {
+        let a = u64::from_le_bytes(data[cand + l..cand + l + 8].try_into().unwrap());
+        let b = u64::from_le_bytes(data[pos + l..pos + l + 8].try_into().unwrap());
+        let diff = a ^ b;
+        if diff != 0 {
+            return l + (diff.trailing_zeros() >> 3) as usize;
+        }
+        l += 8;
+    }
+    while l < max_len && data[cand + l] == data[pos + l] {
+        l += 1;
+    }
+    l
+}
+
 fn hash3(data: &[u8], pos: usize) -> usize {
     let h = (data[pos] as u32)
         .wrapping_mul(0x9E37)
@@ -223,18 +245,20 @@ pub fn tokenize(data: &[u8], config: MatcherConfig) -> Vec<Token> {
         let mut cand = head[hash3(data, pos)];
         let mut links = config.max_chain;
         let limit = pos.saturating_sub(window);
+        let max_len = (data.len() - pos).min(MAX_MATCH);
         while cand != usize::MAX && cand >= limit && links > 0 {
             if cand < pos {
-                let max_len = (data.len() - pos).min(MAX_MATCH);
-                let mut l = 0;
-                while l < max_len && data[cand + l] == data[pos + l] {
-                    l += 1;
-                }
-                if l > best_len {
-                    best_len = l;
-                    best_dist = pos - cand;
-                    if l == max_len {
-                        break;
+                // A candidate can only improve on `best_len` if it agrees
+                // at offset `best_len`; one byte probe rejects most chains
+                // without running the full prefix compare.
+                if data[cand + best_len] == data[pos + best_len] {
+                    let l = match_len(data, cand, pos, max_len);
+                    if l > best_len {
+                        best_len = l;
+                        best_dist = pos - cand;
+                        if l == max_len {
+                            break;
+                        }
                     }
                 }
             }
@@ -291,6 +315,74 @@ pub fn tokenize(data: &[u8], config: MatcherConfig) -> Vec<Token> {
         for p in pos + 1..pos + emit_len {
             insert(&mut head, &mut chain, p);
         }
+        pos += emit_len;
+    }
+    tokens
+}
+
+/// Reference LZ77 tokenizer that scans every window position linearly
+/// (O(n · window) worst case) instead of following hash chains.
+///
+/// This is the "before" side of the `bench_hotpaths` match-finder
+/// measurement and a correctness oracle for [`tokenize`]: both must
+/// round-trip through [`expand_tokens`], though they may legitimately
+/// pick different (equally valid) matches. `max_chain` is ignored — the
+/// linear scan visits the whole window by construction. Not for hot
+/// paths.
+pub fn tokenize_linear(data: &[u8], config: MatcherConfig) -> Vec<Token> {
+    let window = config.window.clamp(1, MAX_DISTANCE);
+    let mut tokens = Vec::new();
+
+    let find_match = |pos: usize| -> Option<(usize, usize)> {
+        if pos + MIN_MATCH > data.len() {
+            return None;
+        }
+        let max_len = (data.len() - pos).min(MAX_MATCH);
+        let mut best_len = MIN_MATCH - 1;
+        let mut best_dist = 0usize;
+        // Nearest candidate first, exactly like the chain walk.
+        for cand in (pos.saturating_sub(window)..pos).rev() {
+            let mut l = 0;
+            while l < max_len && data[cand + l] == data[pos + l] {
+                l += 1;
+            }
+            if l > best_len {
+                best_len = l;
+                best_dist = pos - cand;
+                if l == max_len {
+                    break;
+                }
+            }
+        }
+        if best_len >= MIN_MATCH {
+            Some((best_len, best_dist))
+        } else {
+            None
+        }
+    };
+
+    let mut pos = 0usize;
+    while pos < data.len() {
+        let (emit_len, emit_dist) = match find_match(pos) {
+            None => {
+                tokens.push(Token::Literal(data[pos]));
+                pos += 1;
+                continue;
+            }
+            Some((len, dist)) if config.lazy && pos + 1 < data.len() => match find_match(pos + 1) {
+                Some((nlen, _)) if nlen > len => {
+                    tokens.push(Token::Literal(data[pos]));
+                    pos += 1;
+                    continue;
+                }
+                _ => (len, dist),
+            },
+            Some((len, dist)) => (len, dist),
+        };
+        tokens.push(Token::Match {
+            length: emit_len as u16,
+            distance: emit_dist as u16,
+        });
         pos += emit_len;
     }
     tokens
@@ -426,11 +518,60 @@ mod tests {
         }
     }
 
+    #[test]
+    fn match_len_helper_agrees_with_byte_loop() {
+        let mut data = b"abcdefgh_abcdefgh_abcdefgX_tail".to_vec();
+        data.extend_from_slice(&[7u8; 40]);
+        for pos in 1..data.len() {
+            for cand in 0..pos {
+                let max_len = data.len() - pos;
+                let mut expect = 0;
+                while expect < max_len && data[cand + expect] == data[pos + expect] {
+                    expect += 1;
+                }
+                assert_eq!(
+                    match_len(&data, cand, pos, max_len),
+                    expect,
+                    "{cand}->{pos}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn linear_matcher_round_trips_and_finds_repeats() {
+        let data = b"abcdefabcdefabcdef";
+        for lazy in [false, true] {
+            let tokens = tokenize_linear(
+                data,
+                MatcherConfig {
+                    lazy,
+                    ..MatcherConfig::default()
+                },
+            );
+            assert_eq!(expand_tokens(&tokens), data, "lazy={lazy}");
+            assert!(tokens.iter().any(|t| matches!(t, Token::Match { .. })));
+        }
+        assert!(tokenize_linear(b"", MatcherConfig::default()).is_empty());
+    }
+
     proptest! {
         #[test]
         fn prop_tokenize_round_trips(data in proptest::collection::vec(any::<u8>(), 0..2000)) {
             let tokens = tokenize(&data, MatcherConfig::default());
             prop_assert_eq!(expand_tokens(&tokens), data);
+        }
+
+        #[test]
+        fn prop_linear_and_chain_both_round_trip(
+            data in proptest::collection::vec(any::<u8>(), 0..600),
+        ) {
+            // The two matchers may pick different matches; both streams
+            // must reconstruct the input byte-for-byte.
+            let chain = tokenize(&data, MatcherConfig::default());
+            let linear = tokenize_linear(&data, MatcherConfig::default());
+            prop_assert_eq!(expand_tokens(&chain), data.clone());
+            prop_assert_eq!(expand_tokens(&linear), data);
         }
 
         #[test]

@@ -10,6 +10,41 @@
 
 use std::ops::{Add, Mul};
 
+/// Multiplies by `x` (one bit of polynomial degree): shift right in the
+/// reflected representation, folding the dropped degree-127 term back in
+/// with the reduction constant.
+#[inline]
+const fn mulx(v: u128) -> u128 {
+    const R: u128 = 0xE1 << 120;
+    let carry = v & 1;
+    let shifted = v >> 1;
+    if carry == 1 {
+        shifted ^ R
+    } else {
+        shifted
+    }
+}
+
+/// `R4[j]` is the reduction contribution of the low nibble `j` when a
+/// field element is multiplied by `x^4`: `z·x^4 = (z >> 4) ^ R4[z & 0xF]`.
+/// Derived at compile time from `mulx` so no transcribed constants can
+/// drift from the reference reduction.
+const R4: [u128; 16] = {
+    let mut table = [0u128; 16];
+    let mut j = 0;
+    while j < 16 {
+        let mut v = j as u128;
+        let mut k = 0;
+        while k < 4 {
+            v = mulx(v);
+            k += 1;
+        }
+        table[j] = v;
+        j += 1;
+    }
+    table
+};
+
 /// An element of GF(2^128) in GCM bit order.
 ///
 /// # Example
@@ -58,23 +93,15 @@ impl Gf128 {
         }
         result
     }
-}
 
-impl Add for Gf128 {
-    type Output = Gf128;
-    /// Addition in GF(2^128) is XOR.
-    #[inline]
-    #[allow(clippy::suspicious_arithmetic_impl)]
-    fn add(self, rhs: Gf128) -> Gf128 {
-        Gf128(self.0 ^ rhs.0)
-    }
-}
-
-impl Mul for Gf128 {
-    type Output = Gf128;
-    /// Carry-less multiplication with on-the-fly reduction, exactly the
-    /// algorithm in NIST SP 800-38D §6.3.
-    fn mul(self, rhs: Gf128) -> Gf128 {
+    /// Reference multiplication: the bit-at-a-time algorithm of NIST SP
+    /// 800-38D §6.3, one conditional XOR per bit of `rhs`.
+    ///
+    /// This is the oracle the table-driven [`GfMulTable`] (and the `Mul`
+    /// impl built on it) is validated against, and the "before" side of
+    /// the `bench_hotpaths` GHASH measurement. Hot paths should use `*`
+    /// or a per-key [`GfMulTable`] instead.
+    pub fn mul_bitwise(self, rhs: Gf128) -> Gf128 {
         const R: u128 = 0xE1 << 120;
         let mut z: u128 = 0;
         let mut v = self.0;
@@ -90,6 +117,83 @@ impl Mul for Gf128 {
             }
         }
         Gf128(z)
+    }
+}
+
+/// Shoup-style 4-bit multiplication table for a fixed element `H`.
+///
+/// GHASH multiplies everything by the same hash subkey, so the table is
+/// built **once per key** (16 entries: every 4-bit polynomial times `H`)
+/// and each subsequent product costs 32 nibble steps instead of the 128
+/// conditional-XOR iterations of [`Gf128::mul_bitwise`] — the §V-A
+/// observation that the multiplier, not the data, is the loop invariant.
+///
+/// # Example
+///
+/// ```
+/// use ulp_crypto::gf128::{Gf128, GfMulTable};
+/// let h = Gf128::from_bytes(&[0x35; 16]);
+/// let x = Gf128::from_bytes(&[0x77; 16]);
+/// let table = GfMulTable::new(h);
+/// assert_eq!(table.mul(x), x.mul_bitwise(h));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GfMulTable {
+    /// `m[i]` = (the degree-≤3 polynomial spelled by nibble `i`) · H,
+    /// where bit `j` of `i` carries the coefficient of `x^(3-j)`.
+    m: [u128; 16],
+}
+
+impl GfMulTable {
+    /// Builds the 16-entry table for multiplication by `h`.
+    pub fn new(h: Gf128) -> GfMulTable {
+        let mut m = [0u128; 16];
+        // Single-bit entries by repeated ·x, composites by linearity.
+        m[8] = h.0; // x^0 · H
+        m[4] = mulx(m[8]); // x^1 · H
+        m[2] = mulx(m[4]); // x^2 · H
+        m[1] = mulx(m[2]); // x^3 · H
+        for top in [2usize, 4, 8] {
+            for low in 1..top {
+                m[top | low] = m[top] ^ m[low];
+            }
+        }
+        GfMulTable { m }
+    }
+
+    /// Computes `x · H` with the precomputed table.
+    #[inline]
+    pub fn mul(&self, x: Gf128) -> Gf128 {
+        // Horner over the 32 nibbles of x, least-significant (highest
+        // polynomial degree) first: z ← z·x^4 + nibble·H.
+        let x = x.0;
+        let mut z = self.m[(x & 0xF) as usize];
+        for n in 1..32 {
+            z = (z >> 4) ^ R4[(z & 0xF) as usize] ^ self.m[((x >> (4 * n)) & 0xF) as usize];
+        }
+        Gf128(z)
+    }
+}
+
+impl Add for Gf128 {
+    type Output = Gf128;
+    /// Addition in GF(2^128) is XOR.
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn add(self, rhs: Gf128) -> Gf128 {
+        Gf128(self.0 ^ rhs.0)
+    }
+}
+
+impl Mul for Gf128 {
+    type Output = Gf128;
+    /// Carry-less multiplication with on-the-fly reduction via a 4-bit
+    /// window table built per call (cheap: 3 shifts + 11 XORs). Both
+    /// operands may vary — the out-of-order GHASH multiplies each block
+    /// by a *different* power of `H`, so no per-key table applies there.
+    /// Agrees bit-for-bit with [`Gf128::mul_bitwise`].
+    fn mul(self, rhs: Gf128) -> Gf128 {
+        GfMulTable::new(self).mul(rhs)
     }
 }
 
@@ -148,6 +252,24 @@ mod tests {
         assert_eq!(Gf128::from_bytes(&b).to_bytes(), b);
     }
 
+    #[test]
+    fn table_identity_and_zero() {
+        let h = Gf128::from_bytes(&hex16("66e94bd4ef8a2c3b884cfa59ca342b2e"));
+        let table = GfMulTable::new(h);
+        assert_eq!(table.mul(Gf128::ONE), h);
+        assert_eq!(table.mul(Gf128::ZERO), Gf128::ZERO);
+        assert_eq!(GfMulTable::new(Gf128::ONE).mul(h), h);
+    }
+
+    #[test]
+    fn table_matches_bitwise_on_gcm_vectors() {
+        let h = Gf128::from_bytes(&hex16("66e94bd4ef8a2c3b884cfa59ca342b2e"));
+        let c1 = Gf128::from_bytes(&hex16("0388dace60b6a392f328c2b971b2fe78"));
+        let table = GfMulTable::new(h);
+        assert_eq!(table.mul(c1), c1.mul_bitwise(h));
+        assert_eq!(table.mul(h), h.mul_bitwise(h));
+    }
+
     proptest! {
         #[test]
         fn prop_mul_commutative(a: [u8; 16], b: [u8; 16]) {
@@ -176,6 +298,15 @@ mod tests {
         fn prop_add_self_inverse(a: [u8; 16]) {
             let x = Gf128::from_bytes(&a);
             prop_assert_eq!(x + x, Gf128::ZERO);
+        }
+
+        #[test]
+        fn prop_table_and_mul_match_bitwise(a: [u8; 16], b: [u8; 16]) {
+            let x = Gf128::from_bytes(&a);
+            let y = Gf128::from_bytes(&b);
+            let expected = x.mul_bitwise(y);
+            prop_assert_eq!(x * y, expected);
+            prop_assert_eq!(GfMulTable::new(y).mul(x), expected);
         }
     }
 }

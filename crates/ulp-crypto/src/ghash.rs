@@ -16,7 +16,7 @@
 //! [`HPowers`] models that table, and [`OooGhash`] the order-independent
 //! accumulator.
 
-use crate::gf128::Gf128;
+use crate::gf128::{Gf128, GfMulTable};
 
 /// Precomputed powers of the hash subkey `H` (H^1 .. H^max).
 ///
@@ -48,11 +48,15 @@ impl HPowers {
     /// Panics if `max` is zero.
     pub fn new(h: Gf128, max: usize) -> HPowers {
         assert!(max > 0, "need at least H^1");
+        // Every step multiplies by the same H, so one per-key table
+        // amortizes across the whole stride — the same trick the Config
+        // Memory fill engine uses while the source buffer registers.
+        let table = GfMulTable::new(h);
         let mut powers = Vec::with_capacity(max);
         let mut acc = h;
         for _ in 0..max {
             powers.push(acc);
-            acc = acc * h;
+            acc = table.mul(acc);
         }
         HPowers { powers }
     }
@@ -80,19 +84,23 @@ impl HPowers {
 /// against.
 #[derive(Debug, Clone)]
 pub struct Ghash {
-    h: Gf128,
+    h: GfMulTable,
     y: Gf128,
 }
 
 impl Ghash {
-    /// Creates a GHASH instance keyed by `h`.
+    /// Creates a GHASH instance keyed by `h`, building the per-key 4-bit
+    /// multiplication table once up front.
     pub fn new(h: Gf128) -> Ghash {
-        Ghash { h, y: Gf128::ZERO }
+        Ghash {
+            h: GfMulTable::new(h),
+            y: Gf128::ZERO,
+        }
     }
 
     /// Absorbs one 16-byte block.
     pub fn update_block(&mut self, block: &[u8; 16]) {
-        self.y = (self.y + Gf128::from_bytes(block)) * self.h;
+        self.y = self.h.mul(self.y + Gf128::from_bytes(block));
     }
 
     /// Absorbs `data`, zero-padding the final partial block (as GCM does
