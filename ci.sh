@@ -38,4 +38,12 @@ echo "==> bench_hotpaths smoke + check"
 cargo run --release -p bench --bin bench_hotpaths -q -- smoke || status=1
 cargo run --release -p bench --bin bench_hotpaths -q -- check || status=1
 
+# Run-report smoke: exercises the unified telemetry registry end to end
+# (writes target/run_report.smoke.json, never the committed report),
+# then validates the committed results/run_report.json still parses and
+# covers every stat surface (DESIGN.md §8).
+echo "==> run_report smoke + check"
+cargo run --release -p bench --bin run_report -q -- smoke || status=1
+cargo run --release -p bench --bin run_report -q -- check || status=1
+
 exit "$status"

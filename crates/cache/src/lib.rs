@@ -288,6 +288,25 @@ impl Llc {
         }
     }
 
+    /// Number of completed miss-rate sampling windows.
+    pub fn sample_windows_completed(&self) -> u64 {
+        self.windows_completed
+    }
+
+    /// Registers every cache statistic (access counters, cumulative and
+    /// sampled miss rates) under `scope` for a `telemetry/v1` snapshot.
+    pub fn export_telemetry(&self, scope: &mut simkit::telemetry::Scope) {
+        scope.set_counter("accesses", self.stats.accesses);
+        scope.set_counter("hits", self.stats.hits);
+        scope.set_counter("misses", self.stats.misses);
+        scope.set_counter("writebacks", self.stats.writebacks);
+        scope.set_counter("flushes", self.stats.flushes);
+        scope.set_counter("ddio_writes", self.stats.ddio_writes);
+        scope.set_counter("sample_windows", self.windows_completed);
+        scope.set_gauge("miss_rate", self.stats.miss_rate());
+        scope.set_gauge("sampled_miss_rate", self.sampled_miss_rate());
+    }
+
     fn index(&self, addr: PhysAddr) -> (usize, u64) {
         let line = addr.0 >> 6;
         let set = (line % self.sets.len() as u64) as usize;

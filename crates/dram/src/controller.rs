@@ -231,6 +231,27 @@ impl DramSystem {
         busy as f64 / (elapsed as f64 * self.channels.len() as f64)
     }
 
+    /// Registers every DRAM statistic (command counters, per-channel
+    /// bus-busy cycles, trace retention) under `scope` for a
+    /// `telemetry/v1` snapshot.
+    pub fn export_telemetry(&self, scope: &mut simkit::telemetry::Scope) {
+        scope.set_counter("rd_cas", self.stats.rd_cas.value());
+        scope.set_counter("wr_cas", self.stats.wr_cas.value());
+        scope.set_counter("activates", self.stats.activates.value());
+        scope.set_counter("precharges", self.stats.precharges.value());
+        scope.set_counter("row_hits", self.stats.row_hits.value());
+        scope.set_counter("retries", self.stats.retries.value());
+        scope.set_counter("refreshes", self.stats.refreshes.value());
+        scope.set_counter("bytes_transferred", self.stats.bytes_transferred());
+        scope.set_counter("trace_records", self.trace.records().len() as u64);
+        scope.set_counter("trace_dropped_records", self.trace.dropped_records());
+        for (i, ch) in self.channels.iter().enumerate() {
+            scope
+                .scope(&format!("channel{i}"))
+                .set_counter("busy_cycles", ch.busy_cycles);
+        }
+    }
+
     /// Applies any refresh windows due at-or-before `at` on `channel`:
     /// each due tREFI tick closes every bank for tRFC and pushes the
     /// command past the refresh window.

@@ -311,6 +311,21 @@ impl MemSystem {
         &self.cost
     }
 
+    /// Registers the memory-hierarchy statistics under `scope` for a
+    /// `telemetry/v1` snapshot: bandwidth accounting at this level, the
+    /// LLC under `llc`, DRAM under `dram`.
+    pub fn export_telemetry(&self, scope: &mut simkit::telemetry::Scope) {
+        scope.set_counter("page_copies", self.page_copies);
+        scope.set_counter("fault_disturbances", self.fault_disturbances);
+        scope.set_counter("deferred_writebacks", self.deferred_wb.len() as u64);
+        scope.set_counter(
+            "dram_bytes_transferred",
+            self.dram.stats().bytes_transferred(),
+        );
+        self.llc.export_telemetry(scope.scope("llc"));
+        self.dram.export_telemetry(scope.scope("dram"));
+    }
+
     fn fill_from_dram(dram: &mut DramSystem, addr: PhysAddr, tag: u64) -> ([u8; 64], u64) {
         dram.read64_tagged(addr, tag)
     }

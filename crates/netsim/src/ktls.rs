@@ -15,7 +15,7 @@
 //!   fallback. Under packet drops these resyncs erase the offload's
 //!   benefit — the effect Fig. 2 shows.
 
-use crate::tcp::{simulate_transfer, FlowEvent, TcpConfig, TcpRun};
+use crate::tcp::{simulate_transfer_with_faults, FlowEvent, TcpConfig, TcpRun};
 
 /// Where TLS record encryption runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -95,6 +95,16 @@ impl EncryptedFlowReport {
         }
         self.cpu_crypto_ns as f64 / self.tcp.elapsed_ns as f64
     }
+
+    /// Registers the encryption metrics (with the underlying TCP flow
+    /// under `tcp`) for a `telemetry/v1` snapshot.
+    pub fn export_telemetry(&self, scope: &mut simkit::telemetry::Scope) {
+        scope.set_counter("resyncs", self.resyncs);
+        scope.set_counter("cpu_crypto_ns", self.cpu_crypto_ns);
+        scope.set_counter("nic_encrypted_bytes", self.nic_encrypted_bytes);
+        scope.set_gauge("cpu_crypto_fraction", self.cpu_crypto_fraction());
+        self.tcp.export_telemetry(scope.scope("tcp"));
+    }
 }
 
 /// Runs an encrypted transfer of `bytes` with the given placement.
@@ -103,12 +113,24 @@ pub fn run_encrypted_flow(
     tcp: &TcpConfig,
     placement: TlsPlacement,
 ) -> EncryptedFlowReport {
+    run_encrypted_flow_with_faults(bytes, tcp, None, placement)
+}
+
+/// [`run_encrypted_flow`] with an optional fault injector (armed
+/// `TcpLossBurst` events force-drop segments by transmission index), used
+/// to study resync behaviour under precisely placed losses.
+pub fn run_encrypted_flow_with_faults(
+    bytes: u64,
+    tcp: &TcpConfig,
+    fault: Option<&simkit::FaultHandle>,
+    placement: TlsPlacement,
+) -> EncryptedFlowReport {
     let mut resyncs = 0u64;
     let mut cpu_crypto_ns = 0u64;
     let mut nic_encrypted = 0u64;
     let mut nic_expected_seq = 0u64;
 
-    let run = simulate_transfer(bytes, tcp, |ev| {
+    let run = simulate_transfer_with_faults(bytes, tcp, fault, |ev| {
         let FlowEvent::Tx {
             seq,
             len,
@@ -145,11 +167,14 @@ pub fn run_encrypted_flow(
                     0
                 } else {
                     // Out-of-sequence: hardware resync + CPU fallback for
-                    // the affected record.
+                    // the affected record. The expected sequence advances
+                    // monotonically — a retransmission of an *old* segment
+                    // must not rewind it, or every in-flight segment behind
+                    // it would spuriously count as out-of-sequence too.
                     resyncs += 1;
                     let fallback = (record_bytes as f64 * cycles_per_byte / cpu_ghz).ceil() as u64;
                     cpu_crypto_ns += fallback;
-                    nic_expected_seq = seq + len as u64;
+                    nic_expected_seq = nic_expected_seq.max(seq + len as u64);
                     resync_ns + fallback
                 }
             }
@@ -222,6 +247,50 @@ mod tests {
             nic_lossy.goodput_gbps(),
             cpu_lossy.goodput_gbps()
         );
+    }
+
+    #[test]
+    fn single_loss_causes_exactly_matching_resyncs() {
+        // Regression for the expected-sequence rewind bug: a retransmission
+        // of an old segment used to set nic_expected_seq backwards, so the
+        // next in-flight *new* segment also counted as out-of-sequence —
+        // doubling the resync count. With the monotonic advance, resyncs
+        // match the actual out-of-sequence transmissions one-to-one.
+        use simkit::{FaultEvent, FaultHandle, FaultKind, FaultPlan};
+        let plan = FaultPlan {
+            seed: 0,
+            events: vec![FaultEvent {
+                at_offload: 0,
+                kind: FaultKind::TcpLossBurst { start: 30, len: 1 },
+            }],
+        };
+        let handle = FaultHandle::new(plan);
+        let report = run_encrypted_flow_with_faults(
+            4 << 20,
+            &tcp(0.0, 1),
+            Some(&handle),
+            TlsPlacement::smartnic_default(),
+        );
+        assert_eq!(report.tcp.drops, 1, "exactly the injected loss");
+        assert_eq!(report.tcp.forced_drops, 1);
+        assert!(report.tcp.retransmits >= 1);
+        assert_eq!(
+            report.resyncs, report.tcp.retransmits,
+            "one resync per out-of-sequence transmission, no spurious extras"
+        );
+        assert_eq!(report.tcp.delivered_bytes, 4 << 20);
+    }
+
+    #[test]
+    fn resyncs_match_retransmits_under_random_loss() {
+        // Every retransmission is out-of-sequence at the NIC, and — with
+        // the monotonic expected-sequence fix — nothing else is.
+        for seed in [2u64, 5, 9] {
+            let report =
+                run_encrypted_flow(4 << 20, &tcp(0.01, seed), TlsPlacement::smartnic_default());
+            assert!(report.tcp.retransmits > 0);
+            assert_eq!(report.resyncs, report.tcp.retransmits, "seed {seed}");
+        }
     }
 
     #[test]

@@ -125,6 +125,20 @@ impl TcpRun {
         }
         (self.delivered_bytes * 8) as f64 / self.elapsed_ns as f64
     }
+
+    /// Registers the flow metrics under `scope` for a `telemetry/v1`
+    /// snapshot.
+    pub fn export_telemetry(&self, scope: &mut simkit::telemetry::Scope) {
+        scope.set_counter("delivered_bytes", self.delivered_bytes);
+        scope.set_counter("elapsed_ns", self.elapsed_ns);
+        scope.set_counter("retransmits", self.retransmits);
+        scope.set_counter("timeouts", self.timeouts);
+        scope.set_counter("fast_retransmits", self.fast_retransmits);
+        scope.set_counter("drops", self.drops);
+        scope.set_counter("forced_drops", self.forced_drops);
+        scope.set_counter("reordered", self.reordered);
+        scope.set_gauge("goodput_gbps", self.goodput_gbps());
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -176,6 +190,10 @@ pub fn simulate_transfer_with_faults(
     let mut cwnd: f64 = (cfg.init_cwnd * cfg.mss) as f64;
     let mut ssthresh: f64 = (cfg.max_cwnd * cfg.mss) as f64;
     let mut dup_acks = 0u32;
+    // RFC 5681 §3.2 fast-recovery state: while set, additional duplicate
+    // ACKs inflate cwnd (segments have left the network) and the next new
+    // ACK deflates cwnd back to ssthresh.
+    let mut in_recovery = false;
     let mut timer_epoch = 0u64;
     let mut link_free: u64 = 0;
 
@@ -292,10 +310,17 @@ pub fn simulate_transfer_with_faults(
                 if ackno > send_base {
                     send_base = ackno;
                     dup_acks = 0;
-                    // Slow start / congestion avoidance.
-                    if cwnd < ssthresh {
+                    if in_recovery {
+                        // Fast recovery exits on the first new ACK: deflate
+                        // the window back to ssthresh (RFC 5681 §3.2 step 6)
+                        // instead of growing from the inflated value.
+                        in_recovery = false;
+                        cwnd = ssthresh;
+                    } else if cwnd < ssthresh {
+                        // Slow start.
                         cwnd += cfg.mss as f64;
                     } else {
+                        // Congestion avoidance.
                         cwnd += (cfg.mss * cfg.mss) as f64 / cwnd;
                     }
                     cwnd = cwnd.min(max_cwnd_bytes);
@@ -304,14 +329,22 @@ pub fn simulate_transfer_with_faults(
                     }
                 } else if ackno == send_base && send_base < total_bytes {
                     dup_acks += 1;
-                    if dup_acks == 3 {
-                        // Fast retransmit.
+                    if dup_acks == 3 && !in_recovery {
+                        // Fast retransmit, then enter fast recovery with the
+                        // window inflated by the three segments known to
+                        // have left the network (RFC 5681 §3.2 steps 2–3).
                         run.fast_retransmits += 1;
+                        in_recovery = true;
                         ssthresh = (cwnd / 2.0).max(2.0 * cfg.mss as f64);
-                        cwnd = ssthresh + 3.0 * cfg.mss as f64;
+                        cwnd = (ssthresh + 3.0 * cfg.mss as f64).min(max_cwnd_bytes);
                         let len = ((total_bytes - send_base) as usize).min(cfg.mss);
                         send_segment!(q, send_base, len, true);
                         arm_timer!(q);
+                    } else if in_recovery {
+                        // Each further duplicate ACK means another segment
+                        // left the network: inflate by one MSS so new data
+                        // can be clocked out (RFC 5681 §3.2 step 4).
+                        cwnd = (cwnd + cfg.mss as f64).min(max_cwnd_bytes);
                     }
                 }
                 // Transmit whatever the updated window allows.
@@ -328,6 +361,11 @@ pub fn simulate_transfer_with_faults(
                     run.timeouts += 1;
                     ssthresh = (cwnd / 2.0).max(2.0 * cfg.mss as f64);
                     cwnd = cfg.mss as f64;
+                    // An RTO abandons fast recovery and its dup-ACK count;
+                    // stale dup ACKs must not trigger a spurious fast
+                    // retransmit after the window restarts.
+                    dup_acks = 0;
+                    in_recovery = false;
                     let len = ((total_bytes - send_base) as usize).min(cfg.mss);
                     send_segment!(q, send_base, len, true);
                     arm_timer!(q);
@@ -415,6 +453,34 @@ mod tests {
                 "goodput must not increase with loss ({loss})"
             );
             prev = run.goodput_gbps();
+        }
+    }
+
+    #[test]
+    fn goodput_monotone_non_increasing_in_loss() {
+        // Regression for the RFC 5681 fast-recovery fixes: before cwnd was
+        // deflated to ssthresh on recovery exit (and dup ACKs inflated it,
+        // and RTOs reset the dup-ACK count), the sweep below was not
+        // monotone — seed 63 showed goodput *rising* from 0.001 to 0.002
+        // loss because the un-deflated window overshot after recovery.
+        for seed in [7u64, 21, 63] {
+            let mut prev = f64::INFINITY;
+            for loss in [0.0, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.08] {
+                let cfg = TcpConfig {
+                    loss_prob: loss,
+                    seed,
+                    ..TcpConfig::default()
+                };
+                let run = simulate_transfer(8 << 20, &cfg, |_| 0);
+                assert_eq!(run.delivered_bytes, 8 << 20, "reliable at loss {loss}");
+                assert!(
+                    run.goodput_gbps() <= prev,
+                    "goodput increased with loss (seed {seed}, loss {loss}): \
+                     {} > {prev}",
+                    run.goodput_gbps()
+                );
+                prev = run.goodput_gbps();
+            }
         }
     }
 

@@ -22,4 +22,6 @@ pub mod params;
 pub mod server;
 
 pub use params::CostParams;
-pub use server::{run_server, PlatformKind, ServerMetrics, UlpKind, WorkloadConfig};
+pub use server::{
+    run_server, run_server_with_telemetry, PlatformKind, ServerMetrics, UlpKind, WorkloadConfig,
+};

@@ -135,6 +135,20 @@ impl ServerMetrics {
     pub fn mem_bw_gbs(&self) -> f64 {
         self.mem_bw_bytes / 1e9
     }
+
+    /// Registers the harness metrics under `scope` for a `telemetry/v1`
+    /// snapshot.
+    pub fn export_telemetry(&self, scope: &mut simkit::telemetry::Scope) {
+        scope.set_gauge("rps", self.rps);
+        scope.set_gauge("cpu_utilization", self.cpu_utilization);
+        scope.set_gauge("mem_bw_bytes", self.mem_bw_bytes);
+        scope.set_gauge("dram_bytes_per_req", self.dram_bytes_per_req);
+        scope.set_gauge("avg_request_ns", self.avg_request_ns);
+        scope.set_gauge("cpu_ns_per_req", self.cpu_ns_per_req);
+        scope.set_gauge("wire_bytes_per_req", self.wire_bytes_per_req);
+        scope.set_gauge("llc_miss_rate", self.llc_miss_rate);
+        scope.set_counter("force_recycles", self.force_recycles);
+    }
 }
 
 // Buffer arenas. The per-connection stride is an *odd* number of pages
@@ -557,6 +571,31 @@ pub(crate) fn batch_size(cfg: &WorkloadConfig) -> usize {
 /// Panics if the platform cannot run the ULP
 /// ([`PlatformKind::supports`]) or the configuration is degenerate.
 pub fn run_server(kind: PlatformKind, cfg: &WorkloadConfig) -> ServerMetrics {
+    run_server_instrumented(kind, cfg).0
+}
+
+/// [`run_server`], additionally exporting the full post-run state of the
+/// simulated machine — harness metrics plus the memory hierarchy and (for
+/// the SmartDIMM placement) every channel's device counters — under
+/// `scope` for a `telemetry/v1` snapshot.
+pub fn run_server_with_telemetry(
+    kind: PlatformKind,
+    cfg: &WorkloadConfig,
+    scope: &mut simkit::telemetry::Scope,
+) -> ServerMetrics {
+    let (metrics, mut host) = run_server_instrumented(kind, cfg);
+    metrics.export_telemetry(scope);
+    // Every placement runs on the simulated machine (SmartDIMM devices are
+    // installed on all channels regardless of which placement executes the
+    // ULP), so the full hierarchy is always exportable.
+    host.export_telemetry(scope.scope("host"));
+    metrics
+}
+
+fn run_server_instrumented(
+    kind: PlatformKind,
+    cfg: &WorkloadConfig,
+) -> (ServerMetrics, CompCpyHost) {
     assert!(cfg.message_bytes > 0 && cfg.message_bytes <= 65536);
     assert!(
         cfg.connections >= 1 && cfg.connections <= 1024,
@@ -623,7 +662,7 @@ pub fn run_server(kind: PlatformKind, cfg: &WorkloadConfig) -> ServerMetrics {
     let cpu_utilization = (rps * cpu_ns_per_req / (cfg.workers as f64 * 1e9)).min(1.0);
     let mem_bw_bytes = rps * dram_bytes_per_req;
 
-    ServerMetrics {
+    let metrics = ServerMetrics {
         rps,
         cpu_utilization,
         mem_bw_bytes,
@@ -633,7 +672,8 @@ pub fn run_server(kind: PlatformKind, cfg: &WorkloadConfig) -> ServerMetrics {
         wire_bytes_per_req,
         llc_miss_rate,
         force_recycles,
-    }
+    };
+    (metrics, host)
 }
 
 #[cfg(test)]

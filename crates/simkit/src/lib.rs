@@ -12,7 +12,9 @@
 //! * [`DetRng`] — a seedable, reproducible pseudo-random number generator
 //!   (SplitMix64 seeded xoshiro256++),
 //! * the [`stats`] module — counters, histograms and time series used to
-//!   produce every number reported in `EXPERIMENTS.md`.
+//!   produce every number reported in `EXPERIMENTS.md`,
+//! * the [`telemetry`] module — a hierarchical registry that gathers every
+//!   component's stats into one deterministic `telemetry/v1` JSON snapshot.
 //!
 //! # Example
 //!
@@ -35,6 +37,7 @@ pub mod events;
 pub mod fault;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod timer;
 pub mod trace;
 
@@ -43,4 +46,5 @@ pub use events::EventQueue;
 pub use fault::{FaultEvent, FaultHandle, FaultKind, FaultPlan, FiredFault};
 pub use rng::DetRng;
 pub use stats::{Counter, Histogram, Summary, TimeSeries};
+pub use telemetry::{CounterHandle, GaugeHandle, Registry, Scope};
 pub use trace::{TraceRecord, TraceSink};

@@ -212,7 +212,12 @@ impl Summary {
     }
 
     /// Records one sample.
+    ///
+    /// Non-finite samples (NaN, infinities) indicate a degenerate rate
+    /// computation upstream; they are caught here in debug builds rather
+    /// than at report time deep inside an experiment run.
     pub fn record(&mut self, v: f64) {
+        debug_assert!(v.is_finite(), "non-finite summary sample: {v}");
         self.samples.push(v);
         self.sorted = false;
     }
@@ -251,8 +256,10 @@ impl Summary {
         assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
         assert!(!self.samples.is_empty(), "empty summary has no percentile");
         if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            // total_cmp gives NaN a defined order (after +inf) instead of
+            // panicking mid-report; record() already flags non-finite
+            // samples in debug builds.
+            self.samples.sort_by(f64::total_cmp);
             self.sorted = true;
         }
         let rank = ((p / 100.0) * self.samples.len() as f64).ceil().max(1.0) as usize;
@@ -487,6 +494,29 @@ mod tests {
         assert_eq!(s.percentile(100.0), 9.0);
         assert_eq!(s.min(), Some(2.0));
         assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn summary_percentile_survives_nan_sample() {
+        // Regression: percentile() used partial_cmp().expect("NaN sample")
+        // and panicked at report time if a degenerate rate slipped in. The
+        // struct literal bypasses record()'s debug_assert on purpose — we
+        // are testing the report path, not the intake path.
+        let mut s = Summary {
+            samples: vec![3.0, f64::NAN, 1.0, 2.0],
+            sorted: false,
+        };
+        // total_cmp orders NaN after +inf, so finite percentiles are sane.
+        assert_eq!(s.percentile(50.0), 2.0);
+        assert_eq!(s.percentile(0.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite summary sample")]
+    #[cfg(debug_assertions)]
+    fn summary_record_rejects_non_finite_in_debug() {
+        let mut s = Summary::new();
+        s.record(f64::NAN);
     }
 
     #[test]

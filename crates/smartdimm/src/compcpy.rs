@@ -235,6 +235,21 @@ impl CompCpyHost {
         self.device().stats()
     }
 
+    /// Registers host-level counters, the memory hierarchy (under `mem`)
+    /// and every channel's device (under `deviceN`) for a `telemetry/v1`
+    /// snapshot. Takes `&mut self` because device access goes through the
+    /// buffer-device downcast.
+    pub fn export_telemetry(&mut self, scope: &mut simkit::telemetry::Scope) {
+        scope.set_counter("force_recycles", self.force_recycles);
+        scope.set_counter("injected_faults", self.injected_faults);
+        for ch in 0..self.channels {
+            let mut dev_scope = simkit::telemetry::Scope::default();
+            self.device_on(ch).export_telemetry(&mut dev_scope);
+            *scope.scope(&format!("device{ch}")) = dev_scope;
+        }
+        self.mem.export_telemetry(scope.scope("mem"));
+    }
+
     /// Direct access to the channel-0 device model (inspection only — all
     /// data-path interaction goes through memory commands).
     pub fn device(&mut self) -> &mut SmartDimmDevice {

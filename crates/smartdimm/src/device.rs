@@ -235,6 +235,44 @@ impl SmartDimmDevice {
         &self.slack
     }
 
+    /// Registers every device statistic (protocol counters, slack
+    /// histogram, scratchpad and translation-table sub-scopes) under
+    /// `scope` for a `telemetry/v1` snapshot.
+    pub fn export_telemetry(&self, scope: &mut simkit::telemetry::Scope) {
+        let s = self.stats;
+        scope.set_counter("registrations", s.registrations);
+        scope.set_counter("offloads_completed", s.offloads_completed);
+        scope.set_counter("dsa_lines", s.dsa_lines);
+        scope.set_counter("self_recycles", s.self_recycles);
+        scope.set_counter("ignored_writebacks", s.ignored_writebacks);
+        scope.set_counter("alert_retries", s.alert_retries);
+        scope.set_counter("scratch_reads", s.scratch_reads);
+        scope.set_counter("alloc_failures", s.alloc_failures);
+        scope.set_counter("xlat_failures", s.xlat_failures);
+        scope.set_counter("mmio_writes", s.mmio_writes);
+        scope.set_counter("dropped_feeds", s.dropped_feeds);
+        scope.set_counter("bank_desyncs", s.bank_desyncs);
+        scope.set_counter("orphan_lines", s.orphan_lines);
+        scope.set_counter("page_feeds", s.page_feeds);
+        scope.set_histogram("slack_cycles", &self.slack);
+        let sp = self.scratchpad.stats();
+        let sp_scope = scope.scope("scratchpad");
+        sp_scope.set_counter("allocs", sp.allocs);
+        sp_scope.set_counter("frees", sp.frees);
+        sp_scope.set_counter("self_recycled_lines", sp.self_recycled_lines);
+        sp_scope.set_counter("peak_bytes", sp.peak_bytes as u64);
+        sp_scope.set_counter("free_pages", self.scratchpad.free_pages() as u64);
+        sp_scope.set_time_series("occupancy_bytes", self.scratchpad.occupancy_series());
+        let xs = self.xlat.stats();
+        let xl_scope = scope.scope("xlat");
+        xl_scope.set_counter("inserts", xs.inserts);
+        xl_scope.set_counter("first_try", xs.first_try);
+        xl_scope.set_counter("displacements", xs.displacements);
+        xl_scope.set_counter("stash_spills", xs.stash_spills);
+        xl_scope.set_counter("failures", xs.failures);
+        xl_scope.set_counter("lookups", xs.lookups);
+    }
+
     /// Installs a fault injector. Device-side hooks (dropped S6
     /// interceptions) consult it; the injection helpers below apply the
     /// preparation faults the CompCpy host arms per offload.

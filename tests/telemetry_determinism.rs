@@ -1,0 +1,72 @@
+//! Telemetry snapshots must be byte-identical across same-seed runs —
+//! the property that makes `results/run_report.json` diffable in review
+//! and lets CI compare reports across machines. The wall-clock stamp in
+//! the `run_report/v1` wrapper is deliberately outside the snapshot.
+
+use cache::CacheConfig;
+use netsim::ktls::{run_encrypted_flow, TlsPlacement};
+use netsim::tcp::TcpConfig;
+use platforms::{run_server_with_telemetry, PlatformKind, UlpKind, WorkloadConfig};
+use simkit::telemetry::Registry;
+
+/// Builds the same registry shape `run_report` uses, at a reduced scale.
+fn build_registry() -> Registry {
+    let mut reg = Registry::new();
+    let cfg = WorkloadConfig {
+        message_bytes: 4096,
+        connections: 16,
+        requests: 64,
+        ulp: UlpKind::Tls,
+        llc: Some(CacheConfig::mb(2, 16)),
+        ..WorkloadConfig::default()
+    };
+    for (kind, name) in [
+        (PlatformKind::Cpu, "https_cpu"),
+        (PlatformKind::SmartDimm, "https_smartdimm"),
+    ] {
+        run_server_with_telemetry(kind, &cfg, reg.scope(&format!("server.{name}")));
+    }
+    let tcp = TcpConfig {
+        loss_prob: 0.01,
+        seed: 11,
+        ..TcpConfig::default()
+    };
+    let report = run_encrypted_flow(1 << 20, &tcp, TlsPlacement::smartnic_default());
+    report.export_telemetry(reg.scope("netsim.ktls_smartnic"));
+    reg
+}
+
+#[test]
+fn same_seed_runs_snapshot_byte_identically() {
+    let a = build_registry().snapshot();
+    let b = build_registry().snapshot();
+    assert_eq!(
+        a, b,
+        "telemetry/v1 snapshots diverged between same-seed runs"
+    );
+    assert!(a.contains("\"schema\": \"telemetry/v1\""));
+    // The snapshot must never embed wall-clock metadata.
+    assert!(!a.contains("generated_at_unix"));
+}
+
+#[test]
+fn different_seed_changes_the_snapshot() {
+    // Sanity check that the byte-compare above is not vacuous: perturbing
+    // the TCP seed must actually move at least one rendered metric.
+    let base = build_registry().snapshot();
+    let mut reg = Registry::new();
+    let tcp = TcpConfig {
+        loss_prob: 0.01,
+        seed: 12,
+        ..TcpConfig::default()
+    };
+    let report = run_encrypted_flow(1 << 20, &tcp, TlsPlacement::smartnic_default());
+    report.export_telemetry(reg.scope("netsim.ktls_smartnic"));
+    let perturbed = reg.snapshot();
+    let base_netsim = base
+        .split("\"netsim\"")
+        .nth(1)
+        .expect("base snapshot has a netsim scope");
+    assert!(!base_netsim.is_empty());
+    assert_ne!(base, perturbed);
+}
