@@ -38,8 +38,10 @@ echo "==> bench_hotpaths smoke + check"
 cargo run --release -p bench --bin bench_hotpaths -q -- smoke || status=1
 cargo run --release -p bench --bin bench_hotpaths -q -- check || status=1
 
-# Run-report smoke: exercises the unified telemetry registry end to end
-# (writes target/run_report.smoke.json, never the committed report),
+# Run-report smoke: exercises the unified telemetry registry end to end,
+# including the placement × channel-count sweep (1/2/4 channels, §V-D)
+# with its per-channel device/scratchpad/xlat scopes. Smoke mode writes
+# target/run_report.smoke.json, never the committed report; check mode
 # then validates the committed results/run_report.json still parses and
 # covers every stat surface (DESIGN.md §8).
 echo "==> run_report smoke + check"

@@ -45,6 +45,16 @@ const REQUIRED_SCOPES: &[&str] = &[
     "server.https_smartdimm",
     "netsim.ktls_cpu",
     "netsim.ktls_smartnic",
+    // Placement × channel-count sweep (§V-D): 1/2/4 channels.
+    "sweep.tls_ch1_cpu",
+    "sweep.tls_ch1_smartdimm",
+    "sweep.tls_ch2_cpu",
+    "sweep.tls_ch2_smartdimm",
+    "sweep.tls_ch4_cpu",
+    "sweep.tls_ch4_smartdimm",
+    "sweep.deflate_ch1_smartdimm",
+    "sweep.deflate_ch2_smartdimm",
+    "sweep.deflate_ch4_smartdimm",
 ];
 
 /// Metric names that prove each stat surface named in the issue is
@@ -67,6 +77,11 @@ const REQUIRED_METRICS: &[&str] = &[
     "\"injected_faults\"",
     "\"goodput_gbps\"",
     "\"resyncs\"",
+    // Multi-channel surfaces: per-channel shard scopes and the host's
+    // cross-channel bounce counter.
+    "\"channel0\"",
+    "\"bounced_offloads\"",
+    "\"cross_channel_rejects\"",
 ];
 
 /// Builds the full telemetry tree for one workload scale. Everything in
@@ -94,6 +109,54 @@ fn build_registry(connections: usize, requests: usize, transfer_bytes: u64) -> R
         let m = run_server_with_telemetry(kind, &cfg, scope);
         println!(
             "  server/{name:<18} {:>10.0} rps  {:>5.1}% cpu  {:>6.2} GB/s",
+            m.rps,
+            m.cpu_utilization * 100.0,
+            m.mem_bw_gbs()
+        );
+    }
+
+    // Placement × channel-count sweep (§V-D, Fig. 11/12 at scale): TLS
+    // under fine interleave stripes every offload across all shards;
+    // deflate requires page-granular (coarse) interleave, where
+    // cross-channel record→skb pairs exercise the driver's bounce path.
+    // Runs at a reduced scale so the sweep adds breadth, not wall-clock.
+    let sweep_conns = (connections / 4).max(16);
+    let sweep_reqs = (requests / 4).max(64);
+    for channels in [1usize, 2, 4] {
+        let tls_cfg = WorkloadConfig {
+            message_bytes: 4096,
+            connections: sweep_conns,
+            requests: sweep_reqs,
+            ulp: UlpKind::Tls,
+            llc: Some(CacheConfig::mb(2, 16)),
+            channels,
+            channel_interleave_lines: 1,
+            ..WorkloadConfig::default()
+        };
+        for (kind, place) in [
+            (PlatformKind::Cpu, "cpu"),
+            (PlatformKind::SmartDimm, "smartdimm"),
+        ] {
+            let name = format!("tls_ch{channels}_{place}");
+            let scope = reg.scope(&format!("sweep.{name}"));
+            let m = run_server_with_telemetry(kind, &tls_cfg, scope);
+            println!(
+                "  sweep/{name:<18} {:>10.0} rps  {:>5.1}% cpu  {:>6.2} GB/s",
+                m.rps,
+                m.cpu_utilization * 100.0,
+                m.mem_bw_gbs()
+            );
+        }
+        let deflate_cfg = WorkloadConfig {
+            ulp: UlpKind::Compression,
+            channel_interleave_lines: 64,
+            ..tls_cfg
+        };
+        let name = format!("deflate_ch{channels}_smartdimm");
+        let scope = reg.scope(&format!("sweep.{name}"));
+        let m = run_server_with_telemetry(PlatformKind::SmartDimm, &deflate_cfg, scope);
+        println!(
+            "  sweep/{name:<18} {:>10.0} rps  {:>5.1}% cpu  {:>6.2} GB/s",
             m.rps,
             m.cpu_utilization * 100.0,
             m.mem_bw_gbs()

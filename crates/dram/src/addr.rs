@@ -4,8 +4,12 @@
 //! The decode order is the common bank-interleaved scheme:
 //! `offset(6) | bg | bank | column | rank | row`, with the channel bits
 //! taken above the offset at a configurable interleave granularity
-//! (§V-D: modern servers map only 1–4 consecutive cachelines to the same
-//! DIMM; SmartDIMM's prototype runs in single-channel mode).
+//! (§V-D: modern servers map only 1–4 consecutive cachelines to the
+//! same DIMM). The paper's prototype ran single-channel; this
+//! reproduction scales to N channels, one SmartDIMM shard per channel,
+//! with fine interleave striping every page across shards and coarse
+//! interleave (`channel_interleave_lines ≥ 64`) pinning whole pages to
+//! one channel while consecutive pages rotate.
 
 use std::fmt;
 

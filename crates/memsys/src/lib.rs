@@ -502,6 +502,13 @@ impl MemSystem {
     /// writing dirty ones back to DRAM. Models the paper's measured cost
     /// asymmetry between cached and uncached data.
     pub fn flush(&mut self, addr: PhysAddr, size: usize) -> FlushReport {
+        // A zero-length flush covers no lines. Without this guard an
+        // unaligned `addr` yields `start < end` below and the report
+        // over-counts one line (and consults the fault injector for a
+        // flush that never happens).
+        if size == 0 {
+            return FlushReport::default();
+        }
         let start = addr.cacheline().0;
         let end = addr.0 + size as u64;
         let mut report = FlushReport::default();
@@ -845,6 +852,36 @@ mod tests {
             uncached.cycles,
             cached.cycles
         );
+    }
+
+    #[test]
+    fn flush_zero_length_covers_no_lines() {
+        // Regression: a zero-length flush at an unaligned address used to
+        // report one covered line (`start = cacheline(addr) < end = addr`).
+        let mut m = small();
+        m.store(PhysAddr(0x5000), &[7u8; 64], 0);
+        for addr in [0x5000u64, 0x5007, 0x503F] {
+            let r = m.flush(PhysAddr(addr), 0);
+            assert_eq!(r.lines, 0, "flush(0x{addr:x}, 0) counted lines");
+            assert_eq!(r.resident, 0);
+            assert_eq!(r.dirty_writebacks, 0);
+            assert_eq!(r.cycles, 0);
+        }
+        // The line the zero-length flush touched must still be resident.
+        assert!(m.llc().contains(PhysAddr(0x5000)));
+    }
+
+    #[test]
+    fn flush_counts_covering_lines_at_unaligned_boundaries() {
+        let mut m = small();
+        // End not line-aligned: [0x6000, 0x6041) straddles two lines.
+        assert_eq!(m.flush(PhysAddr(0x6000), 0x41).lines, 2);
+        // Start and end unaligned but within one line.
+        assert_eq!(m.flush(PhysAddr(0x7010), 0x20).lines, 1);
+        // Unaligned start, range spilling one byte into the next line.
+        assert_eq!(m.flush(PhysAddr(0x8030), 0x11).lines, 2);
+        // Exactly one aligned line.
+        assert_eq!(m.flush(PhysAddr(0x9000), 64).lines, 1);
     }
 
     #[test]

@@ -26,13 +26,23 @@ impl BankTable {
         }
     }
 
-    /// Records a RAS (activate) command.
+    /// Records a RAS (activate) command. Returns `true` if the bank was
+    /// already open: a controller never activates an open bank without an
+    /// intervening precharge, so an activate-on-open means the device
+    /// missed an implicit precharge and its shadow state desynchronized.
+    /// The stale row is cleared before the new one is recorded so the
+    /// caller can account for the desync (`bank_desyncs` in `device.rs`).
     ///
     /// # Panics
     ///
     /// Panics if the coordinates are out of range.
-    pub fn activate(&mut self, rank: usize, bank_index: usize, row: usize) {
+    pub fn activate(&mut self, rank: usize, bank_index: usize, row: usize) -> bool {
+        let desync = self.rows[rank][bank_index].is_some();
+        if desync {
+            self.rows[rank][bank_index] = None;
+        }
         self.rows[rank][bank_index] = Some(row);
+        desync
     }
 
     /// Records a precharge.
@@ -75,11 +85,17 @@ mod tests {
     }
 
     #[test]
-    fn reactivation_replaces_row() {
+    fn reactivation_replaces_row_and_reports_desync() {
+        // Regression: activating an already-open bank used to overwrite
+        // the shadowed row silently; it must be reported as a desync.
         let mut t = BankTable::new(1, 16);
-        t.activate(0, 3, 100);
-        t.activate(0, 3, 200);
+        assert!(!t.activate(0, 3, 100), "first activate is not a desync");
+        assert!(t.activate(0, 3, 200), "activate-on-open must report");
         assert_eq!(t.active_row(0, 3), Some(200));
+        // After an intervening precharge the next activate is clean again.
+        t.precharge(0, 3);
+        assert!(!t.activate(0, 3, 300));
+        assert_eq!(t.active_row(0, 3), Some(300));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use dram::{Dimm, PhysAddr};
 use memsys::{MemConfig, MemSystem};
+use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 use crate::configmem::{
@@ -106,6 +107,12 @@ pub struct CompCpyHost {
     free_pages: Mutex<i64>,
     next_id: u64,
     alloc_next: u64,
+    /// Phase-matched bounce regions for cross-channel offloads, pooled
+    /// for reuse keyed by `(phase within the interleave period, pages)`.
+    bounce_pool: BTreeMap<(u64, u64), Vec<PhysAddr>>,
+    /// Offloads routed through a bounce buffer because the caller's
+    /// sbuf/dbuf pair interleaved across different channels (§V-D).
+    bounced_offloads: u64,
     /// Software-side counters.
     force_recycles: u64,
     /// Preparation faults (xlat pressure, scratch hogs) armed and applied.
@@ -146,6 +153,8 @@ impl CompCpyHost {
             free_pages: Mutex::new(-1), // Algorithm 2 line 1
             next_id: 1,
             alloc_next: 0x0010_0000, // driver pool starts at 1 MB
+            bounce_pool: BTreeMap::new(),
+            bounced_offloads: 0,
             force_recycles: 0,
             injected_faults: 0,
             fault: None,
@@ -224,6 +233,12 @@ impl CompCpyHost {
         self.force_recycles
     }
 
+    /// Offloads routed through a phase-matched bounce buffer because the
+    /// caller's sbuf/dbuf pair interleaved across different channels.
+    pub fn bounced_offload_count(&self) -> u64 {
+        self.bounced_offloads
+    }
+
     /// Preparation faults the installed injector armed and this host
     /// applied (zero unless a [`simkit::FaultPlan`] is installed).
     pub fn injected_fault_count(&self) -> u64 {
@@ -236,16 +251,18 @@ impl CompCpyHost {
     }
 
     /// Registers host-level counters, the memory hierarchy (under `mem`)
-    /// and every channel's device (under `deviceN`) for a `telemetry/v1`
+    /// and every channel's shard (under `channelN`, each holding
+    /// `device`/`scratchpad`/`xlat` sub-scopes) for a `telemetry/v1`
     /// snapshot. Takes `&mut self` because device access goes through the
     /// buffer-device downcast.
     pub fn export_telemetry(&mut self, scope: &mut simkit::telemetry::Scope) {
         scope.set_counter("force_recycles", self.force_recycles);
         scope.set_counter("injected_faults", self.injected_faults);
+        scope.set_counter("bounced_offloads", self.bounced_offloads);
         for ch in 0..self.channels {
             let mut dev_scope = simkit::telemetry::Scope::default();
             self.device_on(ch).export_telemetry(&mut dev_scope);
-            *scope.scope(&format!("device{ch}")) = dev_scope;
+            *scope.scope(&format!("channel{ch}")) = dev_scope;
         }
         self.mem.export_telemetry(scope.scope("mem"));
     }
@@ -324,6 +341,103 @@ impl CompCpyHost {
         agg.expect("at least one channel")
     }
 
+    /// The channel the cacheline containing `addr` decodes to (the
+    /// `dram::addr` channel-bit extraction, kept in sync with
+    /// [`dram::AddressMapper::decode`]).
+    fn line_channel(&self, addr: u64) -> usize {
+        (((addr >> 6) / self.interleave_lines as u64) % self.channels as u64) as usize
+    }
+
+    /// `Some(channel)` when every covered cacheline of `[base,
+    /// base+size)` decodes to a single channel — a "flex mode" placement
+    /// (§V-D) that lets one shard run a full (metadata-absorbing) engine.
+    fn sole_channel(&self, base: PhysAddr, size: usize) -> Option<usize> {
+        if self.channels == 1 {
+            return Some(0);
+        }
+        let first = self.line_channel(base.0);
+        for l in 1..size.div_ceil(64) as u64 {
+            if self.line_channel(base.0 + l * 64) != first {
+                return None;
+            }
+        }
+        Some(first)
+    }
+
+    /// Whether source line *i* and destination line *i* decode to the
+    /// same channel for every covered line — the condition for a shard to
+    /// see both sides of every page pair it registers. Always true under
+    /// fine interleave (the per-line channel pattern repeats within a
+    /// page); can fail under coarse interleave when sbuf and dbuf sit at
+    /// different phases of the interleave period.
+    fn channel_maps_match(&self, sbuf: PhysAddr, dbuf: PhysAddr, size: usize) -> bool {
+        if self.channels == 1 {
+            return true;
+        }
+        (0..size.div_ceil(64) as u64)
+            .all(|l| self.line_channel(sbuf.0 + l * 64) == self.line_channel(dbuf.0 + l * 64))
+    }
+
+    /// A phase-matched bounce region for a cross-channel offload: same
+    /// length as the caller's buffer and the same position within the
+    /// channel-interleave period as `sbuf`, so every source line and its
+    /// bounce line decode to the same channel. Regions are pooled and
+    /// reused per `(phase, pages)`.
+    fn acquire_bounce(&mut self, sbuf: PhysAddr, size: usize) -> PhysAddr {
+        let pages = size.div_ceil(PAGE) as u64;
+        let period = (self.channels * self.interleave_lines * 64) as u64;
+        let phase = sbuf.0 % period;
+        if let Some(list) = self.bounce_pool.get_mut(&(phase, pages)) {
+            if let Some(addr) = list.pop() {
+                return addr;
+            }
+        }
+        // Carve a fresh phase-matched region from the driver pool.
+        // `alloc_next` and `sbuf` are both page aligned, so page-sized
+        // steps cycle `alloc_next % period` through every page-aligned
+        // phase and this terminates within `period / gcd(period, 4096)`
+        // iterations.
+        while self.alloc_next % period != phase {
+            self.alloc_next += PAGE as u64;
+        }
+        let addr = PhysAddr(self.alloc_next);
+        self.alloc_next += pages * PAGE as u64;
+        assert!(
+            self.alloc_next <= self.config_base.0,
+            "driver bounce pool collides with MMIO space"
+        );
+        addr
+    }
+
+    /// Returns a bounce region to the pool for reuse.
+    fn release_bounce(&mut self, bounce: PhysAddr, size: usize) {
+        let pages = size.div_ceil(PAGE) as u64;
+        let period = (self.channels * self.interleave_lines * 64) as u64;
+        let phase = bounce.0 % period;
+        self.bounce_pool
+            .entry((phase, pages))
+            .or_default()
+            .push(bounce);
+    }
+
+    /// Whether every input byte of `handle` has reached a terminal DSA
+    /// state: a terminal status on any shard, or per-channel partial
+    /// progress summing to the input size.
+    fn offload_settled(&mut self, handle: &OffloadHandle) -> bool {
+        let mut bytes = 0u64;
+        for c in 0..self.channels {
+            let r = self.read_result_on(handle, c);
+            match r.status {
+                OffloadStatus::Done | OffloadStatus::Incompressible | OffloadStatus::Error => {
+                    return true;
+                }
+                OffloadStatus::Partial => bytes += r.out_len,
+                _ => {}
+            }
+        }
+        bytes as usize >= handle.size
+    }
+
     /// Reads the result slot of `handle` on `channel`.
     pub fn read_result_on(&mut self, handle: &OffloadHandle, channel: usize) -> ResultSlot {
         let slot = (handle.id as usize) % self.result_slots;
@@ -332,9 +446,13 @@ impl CompCpyHost {
         ResultSlot::from_bytes(&data)
     }
 
-    /// Reads the result slot of `handle` (channel 0).
+    /// Reads the result slot of `handle` on the channel that owns it —
+    /// the sole channel of `sbuf` when the placement pins one (flex-mode
+    /// or bounced offloads run entirely on that shard), channel 0
+    /// otherwise.
     pub fn read_result(&mut self, handle: &OffloadHandle) -> ResultSlot {
-        self.read_result_on(handle, 0)
+        let ch = self.sole_channel(handle.sbuf, handle.size).unwrap_or(0);
+        self.read_result_on(handle, ch)
     }
 
     /// The AES-GCM tag of a completed TLS offload.
@@ -345,8 +463,11 @@ impl CompCpyHost {
     /// contribution and `EIV` host-side (§V-D, the step the paper assigns
     /// to the CPU). Returns `None` until every byte has been processed.
     pub fn tag(&mut self, handle: &OffloadHandle) -> Option<[u8; 16]> {
-        if self.channels == 1 {
-            let r = self.read_result(handle);
+        if let Some(ch) = self.sole_channel(handle.sbuf, handle.size) {
+            // One shard saw every source line (single-channel mode, or a
+            // flex/bounced placement): it absorbed the metadata and
+            // computed the full tag itself.
+            let r = self.read_result_on(handle, ch);
             return match r.status {
                 OffloadStatus::Done => Some(r.tag),
                 _ => None,
@@ -479,10 +600,13 @@ impl CompCpyHost {
             // split larger messages into per-page CompCpy calls.
             return Err(CompCpyError::BadSize);
         }
-        if !op.size_preserving() && self.channels > 1 {
-            // §V-D: non-size-preserving transforms need their buffers on a
-            // single channel (single-channel mode, flex mode, or an
-            // interleaving-aware memory map).
+        if !op.size_preserving() && self.channels > 1 && self.sole_channel(sbuf, size).is_none() {
+            // §V-D: non-size-preserving transforms need their *source* on
+            // a single channel so one shard's engine sees the whole
+            // message (single-channel mode, flex mode, or a coarse
+            // interleave that keeps whole pages on one channel). The
+            // destination may live anywhere: a mismatched dbuf is routed
+            // through a phase-matched bounce buffer below.
             return Err(CompCpyError::SingleChannelOnly);
         }
         if aad.len() > 7 {
@@ -528,16 +652,32 @@ impl CompCpyHost {
         let id = self.next_id;
         self.next_id += 1;
 
+        // §V-D routing: a shard can only serve page pairs whose source
+        // and destination lines decode to its own channel. When the
+        // caller's dbuf sits at a different phase of the interleave
+        // period than sbuf (possible under coarse interleave), stage the
+        // offload into a phase-matched bounce buffer and copy out after
+        // the device completes.
+        let src_sole = self.sole_channel(sbuf, size);
+        let direct = self.channel_maps_match(sbuf, dbuf, size);
+        let stage_dbuf = if direct {
+            dbuf
+        } else {
+            self.bounced_offloads += 1;
+            self.acquire_bounce(sbuf, size)
+        };
+
         // Line 19: flush sbuf to DRAM so the DIMM sees the data.
         self.mem.flush(sbuf, size);
 
         // Lines 21-23: registration — context first, then the page pairs,
-        // replicated to every channel's SmartDIMM (§V-D). With multiple
-        // channels each DIMM runs a *partial* TLS engine: the host, not
-        // the DSA, contributes the AAD/length metadata when combining.
+        // replicated to every channel's SmartDIMM (§V-D). When one shard
+        // sees every source line it absorbs the AAD/length metadata and
+        // computes the full tag; otherwise each DIMM runs a *partial*
+        // TLS engine and the host contributes the metadata combining.
         let ctx = ContextChunk {
             offload_id: id,
-            payload: op.encode_context_with_policy(size, aad, self.channels == 1),
+            payload: op.encode_context_with_policy(size, aad, src_sole.is_some()),
         };
         self.mmio_broadcast(CONTEXT_OFFSET, &ctx.to_bytes());
         let num_pages = size.div_ceil(PAGE);
@@ -545,7 +685,7 @@ impl CompCpyHost {
             let reg = Registration {
                 offload_id: id,
                 src_page_addr: sbuf.0 + (p * PAGE) as u64,
-                dst_page_addr: dbuf.0 + (p * PAGE) as u64,
+                dst_page_addr: stage_dbuf.0 + (p * PAGE) as u64,
                 msg_offset: (p * PAGE) as u64,
             };
             self.mmio_broadcast(REGISTER_OFFSET, &reg.to_bytes());
@@ -554,11 +694,11 @@ impl CompCpyHost {
         // Lines 24-31: the copy. Ordered mode fences between lines.
         let ordered = ordered || op.requires_ordered();
         self.mem
-            .memcpy(dbuf, sbuf, size.div_ceil(64) * 64, class, ordered);
+            .memcpy(stage_dbuf, sbuf, size.div_ceil(64) * 64, class, ordered);
 
         let mut aad_buf = [0u8; 7];
         aad_buf[..aad.len()].copy_from_slice(aad);
-        Ok(OffloadHandle {
+        let handle = OffloadHandle {
             id,
             dbuf,
             sbuf,
@@ -566,7 +706,57 @@ impl CompCpyHost {
             op,
             aad: aad_buf,
             aad_len: aad.len() as u8,
-        })
+        };
+        if !direct {
+            self.finish_bounce(&handle, stage_dbuf, class);
+        }
+        Ok(handle)
+    }
+
+    /// Completes a bounced offload: settles injected faults, self-
+    /// recycles the staged bounce lines (S9), and copies the transformed
+    /// bytes into the caller's real destination buffer.
+    fn finish_bounce(&mut self, handle: &OffloadHandle, bounce: PhysAddr, class: usize) {
+        let covered = handle.size.div_ceil(64) * 64;
+        if self.fault.is_some() {
+            // Injected faults may have starved the DSA (dropped S6
+            // feeds) or deferred writebacks; recover like a fault-aware
+            // driver before touching the staged output: drain, re-flush,
+            // re-feed the source range.
+            for _ in 0..5 {
+                if self.offload_settled(handle) {
+                    break;
+                }
+                self.mem.drain_writebacks();
+                self.mem.flush(handle.sbuf, covered);
+                for l in (0..covered).step_by(64) {
+                    let mut buf = [0u8; 64];
+                    self.mem
+                        .load(PhysAddr(handle.sbuf.0 + l as u64), &mut buf, 0);
+                }
+            }
+        }
+        // Write the memcpy-dirtied bounce lines back so the device
+        // substitutes the staged transformed data (S9), then copy the
+        // result into the caller's dbuf — any line whose writeback was
+        // deferred is served from the scratchpad on the read (S10).
+        self.mem.flush(bounce, covered);
+        let out_bytes = if handle.op.size_preserving() {
+            covered
+        } else {
+            let r = self.read_result(handle);
+            match r.status {
+                OffloadStatus::Done | OffloadStatus::Incompressible => {
+                    (r.out_len as usize).div_ceil(64) * 64
+                }
+                _ => covered,
+            }
+        };
+        if out_bytes > 0 {
+            self.mem
+                .memcpy(handle.dbuf, bounce, out_bytes, class, false);
+        }
+        self.release_bounce(bounce, handle.size);
     }
 
     /// Registers a *Compute DMA* offload (§IV-E): the transformation runs

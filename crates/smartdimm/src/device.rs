@@ -107,6 +107,11 @@ pub struct DeviceStats {
     /// Whole-page source feeds accepted via the batched read protocol
     /// (one Translation Table probe per 4 KB page instead of per line).
     pub page_feeds: u64,
+    /// Registrations rejected because the page pair's source and
+    /// destination lines decode to different channels — a shard cannot
+    /// serve a pair it only half-sees (§V-D); the host must route such
+    /// pairs through a channel-aligned bounce buffer instead.
+    pub cross_channel_rejects: u64,
 }
 
 #[derive(Debug)]
@@ -235,26 +240,29 @@ impl SmartDimmDevice {
         &self.slack
     }
 
-    /// Registers every device statistic (protocol counters, slack
-    /// histogram, scratchpad and translation-table sub-scopes) under
-    /// `scope` for a `telemetry/v1` snapshot.
+    /// Registers every device statistic under `scope` as three sibling
+    /// sub-scopes — `device` (protocol counters + slack histogram),
+    /// `scratchpad`, and `xlat` — so a multi-channel host can mount each
+    /// shard under `channel[i]` for a `telemetry/v1` snapshot.
     pub fn export_telemetry(&self, scope: &mut simkit::telemetry::Scope) {
         let s = self.stats;
-        scope.set_counter("registrations", s.registrations);
-        scope.set_counter("offloads_completed", s.offloads_completed);
-        scope.set_counter("dsa_lines", s.dsa_lines);
-        scope.set_counter("self_recycles", s.self_recycles);
-        scope.set_counter("ignored_writebacks", s.ignored_writebacks);
-        scope.set_counter("alert_retries", s.alert_retries);
-        scope.set_counter("scratch_reads", s.scratch_reads);
-        scope.set_counter("alloc_failures", s.alloc_failures);
-        scope.set_counter("xlat_failures", s.xlat_failures);
-        scope.set_counter("mmio_writes", s.mmio_writes);
-        scope.set_counter("dropped_feeds", s.dropped_feeds);
-        scope.set_counter("bank_desyncs", s.bank_desyncs);
-        scope.set_counter("orphan_lines", s.orphan_lines);
-        scope.set_counter("page_feeds", s.page_feeds);
-        scope.set_histogram("slack_cycles", &self.slack);
+        let dev_scope = scope.scope("device");
+        dev_scope.set_counter("registrations", s.registrations);
+        dev_scope.set_counter("offloads_completed", s.offloads_completed);
+        dev_scope.set_counter("dsa_lines", s.dsa_lines);
+        dev_scope.set_counter("self_recycles", s.self_recycles);
+        dev_scope.set_counter("ignored_writebacks", s.ignored_writebacks);
+        dev_scope.set_counter("alert_retries", s.alert_retries);
+        dev_scope.set_counter("scratch_reads", s.scratch_reads);
+        dev_scope.set_counter("alloc_failures", s.alloc_failures);
+        dev_scope.set_counter("xlat_failures", s.xlat_failures);
+        dev_scope.set_counter("mmio_writes", s.mmio_writes);
+        dev_scope.set_counter("dropped_feeds", s.dropped_feeds);
+        dev_scope.set_counter("bank_desyncs", s.bank_desyncs);
+        dev_scope.set_counter("orphan_lines", s.orphan_lines);
+        dev_scope.set_counter("page_feeds", s.page_feeds);
+        dev_scope.set_counter("cross_channel_rejects", s.cross_channel_rejects);
+        dev_scope.set_histogram("slack_cycles", &self.slack);
         let sp = self.scratchpad.stats();
         let sp_scope = scope.scope("scratchpad");
         sp_scope.set_counter("allocs", sp.allocs);
@@ -439,6 +447,14 @@ impl SmartDimmDevice {
             CONTEXT_OFFSET => {
                 let chunk = ContextChunk::from_bytes(data);
                 self.contexts.insert(chunk.offload_id, chunk.payload);
+                // Hardware context memory is finite: retire the oldest
+                // entries once we exceed the result-slot count (ids are
+                // monotonic, so first = oldest). Keeps non-participating
+                // shards of a multi-channel broadcast from growing the
+                // map without bound.
+                while self.contexts.len() > self.results.len() {
+                    self.contexts.pop_first();
+                }
             }
             _ => {}
         }
@@ -547,8 +563,48 @@ impl SmartDimmDevice {
                 expected_mask |= 1u64 << l;
             }
         }
-        if expected_mask == 0 {
-            // No cacheline of this page lands on this DIMM; nothing to do.
+        // The source lines this shard will see on its own channel. A
+        // shard can only serve a page pair it sees both sides of: the
+        // rd-CAS feed (source) and the wr-CAS/rd-CAS staging (dest) are
+        // both routed per channel decode, so a pair whose masks disagree
+        // would stage destination lines that are never fed (or feed a
+        // DSA whose output it cannot stage) and hang at S13.
+        let src_lines = covered.div_ceil(64);
+        let mut src_mask = 0u64;
+        for l in 0..src_lines {
+            let line_addr = PhysAddr(reg.src_page_addr + (l as u64) * 64);
+            if self.mapper.decode(line_addr).channel == self.cfg.channel {
+                src_mask |= 1u64 << l;
+            }
+        }
+        if expected_mask == 0 && src_mask == 0 {
+            // No cacheline of this pair lands on this DIMM; drop the
+            // lazily-created record if no earlier page touched us (the
+            // context stays: a later page of the offload may land here).
+            self.reap_if_untouched(reg.offload_id);
+            return;
+        }
+        let aligned = match op {
+            // Size-preserving ops and compression cover the same line
+            // count on both sides: the shard must see line i of the
+            // source exactly when it stages line i of the destination.
+            OffloadOp::TlsEncrypt { .. } | OffloadOp::TlsDecrypt { .. } | OffloadOp::Compress => {
+                src_mask == expected_mask
+            }
+            // Decompression output spans the whole page regardless of
+            // input coverage, so both pages must be entirely on this
+            // channel (page-granular placement, e.g. coarse interleave).
+            OffloadOp::Decompress => {
+                src_mask == crate::scratchpad::prefix_mask(src_lines)
+                    && expected_mask == crate::scratchpad::prefix_mask(covered_lines)
+            }
+        };
+        if !aligned {
+            // Cross-channel page pair: the host driver must bounce it
+            // through a channel-aligned buffer. Reject loudly instead of
+            // hanging the offload.
+            self.stats.cross_channel_rejects += 1;
+            self.reap_if_untouched(reg.offload_id);
             return;
         }
         let Some(scratch_page) = self
@@ -677,6 +733,28 @@ impl SmartDimmDevice {
         }
     }
 
+    /// Removes the lazily-created record for `offload_id` if no page
+    /// pair has actually landed on this shard. The registration
+    /// broadcast reaches every channel, so non-participating shards must
+    /// not accumulate empty records. The context entry is kept: a later
+    /// page of the same offload may still decode to this channel.
+    fn reap_if_untouched(&mut self, offload_id: u64) {
+        let untouched = match self.offloads.get(&offload_id) {
+            Some(off) => off.src_pages.is_empty() && off.dst_scratch.iter().all(|s| s.is_none()),
+            None => false,
+        };
+        if !untouched {
+            return;
+        }
+        self.offloads.remove(&offload_id);
+        let slot = (offload_id as usize) % self.results.len();
+        if let Some(owner) = self.slot_owner.get_mut(slot) {
+            if *owner == Some(offload_id) {
+                *owner = None;
+            }
+        }
+    }
+
     fn maybe_drop_offload(&mut self, offload_id: u64) {
         // An offload is dead once no destination page stages output for
         // it anymore — either it completed and fully recycled, or every
@@ -724,7 +802,11 @@ impl SmartDimmDevice {
 
 impl BufferDevice for SmartDimmDevice {
     fn on_activate(&mut self, _at: Cycle, rank: usize, bank_index: usize, row: usize) {
-        self.bank_table.activate(rank, bank_index, row);
+        // An activate on an already-open bank means we missed the
+        // controller's implicit precharge: the shadowed row was stale.
+        if self.bank_table.activate(rank, bank_index, row) {
+            self.stats.bank_desyncs += 1;
+        }
     }
 
     fn on_precharge(&mut self, _at: Cycle, rank: usize, bank_index: usize) {
@@ -1051,6 +1133,23 @@ mod tests {
         };
         assert_eq!(dev.on_wr_cas(&info, &chunk.to_bytes()), WrResult::Ignore);
         assert_eq!(dev.stats().mmio_writes, 1);
+    }
+
+    #[test]
+    fn activate_on_open_bank_counts_desync() {
+        // Regression: an activate on an already-open bank (the
+        // controller issued an implicit precharge the device never saw)
+        // used to overwrite the shadowed row silently. It must bump
+        // `bank_desyncs` like the rd-CAS resync path does.
+        let mut dev = SmartDimmDevice::new(SmartDimmConfig::default());
+        dev.on_activate(Cycle(0), 0, 3, 100);
+        assert_eq!(dev.stats().bank_desyncs, 0);
+        dev.on_activate(Cycle(1), 0, 3, 200);
+        assert_eq!(dev.stats().bank_desyncs, 1);
+        // A precharged activate is clean.
+        dev.on_precharge(Cycle(2), 0, 3);
+        dev.on_activate(Cycle(3), 0, 3, 300);
+        assert_eq!(dev.stats().bank_desyncs, 1);
     }
 
     #[test]

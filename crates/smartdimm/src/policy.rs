@@ -68,6 +68,11 @@ impl AdaptivePolicy {
 
     /// Decides placement for the next operation given the sampled LLC
     /// miss rate.
+    ///
+    /// Boundary semantics (pinned by tests): a rate *exactly at*
+    /// `threshold` does not offload (strictly "exceeds"), and a rate
+    /// *exactly at* `threshold - hysteresis` does not return to the CPU
+    /// (strictly "falls below").
     pub fn decide(&mut self, llc_miss_rate: f64) -> Placement {
         self.decisions += 1;
         let next = match self.current {
@@ -78,7 +83,12 @@ impl AdaptivePolicy {
             cur => cur,
         };
         if next != self.current {
-            self.switches += 1;
+            // The initial `current` is a pre-decision default, not an
+            // observed placement: the first decision establishes state
+            // rather than transitioning, so it never counts as a switch.
+            if self.decisions > 1 {
+                self.switches += 1;
+            }
             self.current = next;
         }
         if next == Placement::SmartDimm {
@@ -135,7 +145,45 @@ mod tests {
             assert_eq!(p.decide(rate), Placement::SmartDimm);
         }
         assert_eq!(p.decide(0.19), Placement::Cpu);
-        assert_eq!(p.switches(), 2);
+        // Only the SmartDimm→Cpu transition counts: the opening
+        // decide(0.5) was the first decision and establishes state.
+        assert_eq!(p.switches(), 1);
+    }
+
+    #[test]
+    fn first_decision_is_not_a_switch() {
+        // Regression: the initial `current: Cpu` is a pre-decision
+        // default; a first decision landing on SmartDimm used to be
+        // counted as a CPU→SmartDIMM transition.
+        let mut p = AdaptivePolicy::new(0.3, 0.05);
+        assert_eq!(p.decide(0.9), Placement::SmartDimm);
+        assert_eq!(p.switches(), 0);
+        // Subsequent transitions still count.
+        assert_eq!(p.decide(0.1), Placement::Cpu);
+        assert_eq!(p.switches(), 1);
+    }
+
+    #[test]
+    fn exactly_threshold_does_not_offload() {
+        // Pin the boundary: the docs say "exceeds", so a miss rate of
+        // exactly `threshold` stays on the CPU. 0.5 is exactly
+        // representable, so the comparison is not at the mercy of
+        // rounding.
+        let mut p = AdaptivePolicy::new(0.5, 0.125);
+        assert_eq!(p.decide(0.5), Placement::Cpu);
+        assert_eq!(p.switches(), 0);
+        assert_eq!(p.decide(0.5000001), Placement::SmartDimm);
+    }
+
+    #[test]
+    fn exactly_hysteresis_floor_stays_offloaded() {
+        // Pin the boundary: returning to the CPU requires the rate to
+        // fall strictly below `threshold - hysteresis`; exactly at the
+        // floor stays on SmartDIMM. 0.5 - 0.125 = 0.375 exactly.
+        let mut p = AdaptivePolicy::new(0.5, 0.125);
+        assert_eq!(p.decide(0.75), Placement::SmartDimm);
+        assert_eq!(p.decide(0.375), Placement::SmartDimm);
+        assert_eq!(p.decide(0.3749), Placement::Cpu);
     }
 
     #[test]
