@@ -30,6 +30,17 @@ cargo build --release || status=1
 echo "==> cargo test --release --workspace"
 cargo test --release --workspace -q || status=1
 
+# Fidelity-tier gate: the differential harness runs every committed
+# workload (TLS/deflate/1-2-4-channel sweeps, 12 fault-injected oracle
+# seeds) on both memory backends, and the multichannel/fault suites
+# cover the fast backend's cross-channel bounce recovery directly. A
+# green run pins byte-identical payloads and identical functional
+# counters across tiers (DESIGN.md "Memory backend fidelity tiers").
+echo "==> fast-backend differential + multichannel/fault suites"
+cargo test --release --test backend_differential -q || status=1
+cargo test --release --test multichannel -q || status=1
+cargo test --release --test fault_injection -q || status=1
+
 # Hot-path bench smoke: tiny iteration counts — asserts the harness
 # runs and BENCH_hotpaths.json is produced and parses (check mode).
 # Ratios in smoke mode are not meaningful; committed numbers come from
@@ -47,5 +58,13 @@ cargo run --release -p bench --bin bench_hotpaths -q -- check || status=1
 echo "==> run_report smoke + check"
 cargo run --release -p bench --bin run_report -q -- smoke || status=1
 cargo run --release -p bench --bin run_report -q -- check || status=1
+
+# Backend differential report: smoke mode reruns every workload shape on
+# both backends (exits non-zero on any functional divergence) and writes
+# target/backend_differential.smoke.json; check mode validates the
+# committed results/backend_differential.json.
+echo "==> backend_differential smoke + check"
+cargo run --release -p bench --bin backend_differential -q -- smoke || status=1
+cargo run --release -p bench --bin backend_differential -q -- check || status=1
 
 exit "$status"

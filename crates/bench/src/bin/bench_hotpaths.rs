@@ -23,6 +23,8 @@
 //!   exit non-zero if missing or malformed (used by `ci.sh`).
 
 use bench::harness::{json_parses, median_ns_per_op, report, BenchSpec, HotPath};
+use cache::CacheConfig;
+use platforms::{run_server, BackendKind, PlatformKind, UlpKind, WorkloadConfig};
 use simkit::DetRng;
 use smartdimm::{CompCpyHost, HostConfig};
 use std::path::PathBuf;
@@ -136,6 +138,53 @@ fn bench_lz77(spec: BenchSpec, input_len: usize) -> HotPath {
     }
 }
 
+fn bench_backend_sweep(spec: BenchSpec, connections: usize, requests: usize) -> HotPath {
+    // One op = the 4-channel SmartDIMM slice of the `run_report` sweep
+    // (§V-D): TLS under fine interleave plus deflate under coarse
+    // interleave, end to end through the server harness. Both backends
+    // run the byte-identical workload — the differential harness pins
+    // the functional equality — so the ratio is pure simulator
+    // wall-clock: FR-FCFS bank state machines, bus turnaround and
+    // refresh vs the fixed-latency per-channel FIFO.
+    let run_sweep = |backend: BackendKind| {
+        let tls_cfg = WorkloadConfig {
+            message_bytes: 4096,
+            connections,
+            requests,
+            ulp: UlpKind::Tls,
+            llc: Some(CacheConfig::mb(2, 16)),
+            channels: 4,
+            channel_interleave_lines: 1,
+            backend,
+            ..WorkloadConfig::default()
+        };
+        let deflate_cfg = WorkloadConfig {
+            ulp: UlpKind::Compression,
+            channel_interleave_lines: 64,
+            ..tls_cfg.clone()
+        };
+        median_ns_per_op(spec, || {
+            let m = run_server(PlatformKind::SmartDimm, &tls_cfg);
+            assert!(m.rps > 0.0);
+            let m = run_server(PlatformKind::SmartDimm, &deflate_cfg);
+            assert!(m.rps > 0.0);
+        })
+    };
+    let before = run_sweep(BackendKind::CycleAccurate);
+    let after = run_sweep(BackendKind::FastQueue);
+    HotPath {
+        name: "dram_backend_whole_sim",
+        before_impl: "cycle-accurate FR-FCFS DramSystem (per-bank state machines)",
+        after_impl: "fast fixed-latency + per-channel-FIFO backend (FastDramSystem)",
+        work_units: format!(
+            "4-channel run_report sweep: TLS fine + deflate coarse, \
+             {connections} conns x {requests} reqs"
+        ),
+        before_ns_per_op: before,
+        after_ns_per_op: after,
+    }
+}
+
 fn main() -> ExitCode {
     let mode = std::env::args().nth(1).unwrap_or_else(|| "full".into());
     let out_path = repo_root().join("BENCH_hotpaths.json");
@@ -157,15 +206,16 @@ fn main() -> ExitCode {
         };
     }
 
-    let (spec, gf_blocks, pages, lz_len, out_path) = match mode.as_str() {
+    let (spec, gf_blocks, pages, lz_len, sweep_scale, out_path) = match mode.as_str() {
         "smoke" => (
             BenchSpec::smoke(),
             256,
             4,
             1024,
+            (16, 60),
             repo_root().join("target").join("BENCH_hotpaths.smoke.json"),
         ),
-        "full" => (BenchSpec::full(), 256, 32, 8192, out_path),
+        "full" => (BenchSpec::full(), 256, 32, 8192, (32, 150), out_path),
         other => {
             eprintln!("usage: bench_hotpaths [smoke|full|check] (got {other:?})");
             return ExitCode::FAILURE;
@@ -177,6 +227,7 @@ fn main() -> ExitCode {
         bench_gf128(spec, gf_blocks),
         bench_compcpy(spec, pages),
         bench_lz77(spec, lz_len),
+        bench_backend_sweep(spec, sweep_scale.0, sweep_scale.1),
     ];
     let mut rows = Vec::new();
     for p in &paths {

@@ -55,6 +55,10 @@ const REQUIRED_SCOPES: &[&str] = &[
     "sweep.deflate_ch1_smartdimm",
     "sweep.deflate_ch2_smartdimm",
     "sweep.deflate_ch4_smartdimm",
+    // Fidelity-tier coverage: the 4-channel TLS sweep repeated on the
+    // fast fixed-latency backend (tier 1). The differential harness
+    // pins its functional equality with the accurate run above.
+    "sweep.tls_ch4_smartdimm_fast",
 ];
 
 /// Metric names that prove each stat surface named in the issue is
@@ -82,6 +86,12 @@ const REQUIRED_METRICS: &[&str] = &[
     "\"channel0\"",
     "\"bounced_offloads\"",
     "\"cross_channel_rejects\"",
+    // Backend identity: every memsys export names its memory backend
+    // and fidelity tier, so snapshots are never compared across tiers
+    // by accident.
+    "\"fidelity_tier\"",
+    "\"cycle_accurate\"",
+    "\"fast_queue\"",
 ];
 
 /// Builds the full telemetry tree for one workload scale. Everything in
@@ -155,6 +165,33 @@ fn build_registry(connections: usize, requests: usize, transfer_bytes: u64) -> R
         let name = format!("deflate_ch{channels}_smartdimm");
         let scope = reg.scope(&format!("sweep.{name}"));
         let m = run_server_with_telemetry(PlatformKind::SmartDimm, &deflate_cfg, scope);
+        println!(
+            "  sweep/{name:<18} {:>10.0} rps  {:>5.1}% cpu  {:>6.2} GB/s",
+            m.rps,
+            m.cpu_utilization * 100.0,
+            m.mem_bw_gbs()
+        );
+    }
+
+    // Fidelity-tier row: the 4-channel TLS sweep once more on the fast
+    // backend. Same workload bytes, tier-1 timing — archived so report
+    // consumers can see both tiers side by side (and the `backend`
+    // scope marking each).
+    {
+        let fast_cfg = WorkloadConfig {
+            message_bytes: 4096,
+            connections: sweep_conns,
+            requests: sweep_reqs,
+            ulp: UlpKind::Tls,
+            llc: Some(CacheConfig::mb(2, 16)),
+            channels: 4,
+            channel_interleave_lines: 1,
+            backend: platforms::BackendKind::FastQueue,
+            ..WorkloadConfig::default()
+        };
+        let name = "tls_ch4_smartdimm_fast";
+        let scope = reg.scope(&format!("sweep.{name}"));
+        let m = run_server_with_telemetry(PlatformKind::SmartDimm, &fast_cfg, scope);
         println!(
             "  sweep/{name:<18} {:>10.0} rps  {:>5.1}% cpu  {:>6.2} GB/s",
             m.rps,

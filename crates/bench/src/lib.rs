@@ -132,6 +132,12 @@ impl From<f64> for Json {
     }
 }
 
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
 impl From<usize> for Json {
     fn from(n: usize) -> Json {
         Json::Num(n as f64)

@@ -69,7 +69,7 @@ pub struct DramStats {
 }
 
 impl DramStats {
-    fn new() -> DramStats {
+    pub(crate) fn new() -> DramStats {
         DramStats {
             rd_cas: Counter::new("dram.rd_cas"),
             wr_cas: Counter::new("dram.wr_cas"),

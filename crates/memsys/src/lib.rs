@@ -32,8 +32,10 @@
 //! ```
 
 use cache::{CacheConfig, Llc};
-use dram::{DramSystem, MemorySystemConfig, PhysAddr, CACHELINE};
+use dram::{MemorySystemConfig, PhysAddr, CACHELINE};
 use simkit::{Cycle, DetRng};
+
+pub use dram::{BackendKind, MemoryBackend};
 
 /// CPU-side operation costs, in DDR command-clock cycles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,6 +84,11 @@ impl Default for CostModel {
 pub struct MemConfig {
     /// DRAM topology / timing / tracing.
     pub dram: MemorySystemConfig,
+    /// Memory-backend fidelity tier: the cycle-accurate FR-FCFS
+    /// controller (default) or the fixed-latency + per-channel-FIFO
+    /// fast model. Functional behaviour is identical by contract (the
+    /// differential harness pins it); only timing fidelity differs.
+    pub backend: BackendKind,
     /// LLC geometry. Default: 16 MB, 16-way (a contended slice of a
     /// server LLC).
     pub llc: Option<CacheConfig>,
@@ -95,15 +102,24 @@ pub struct MemConfig {
     /// range — stays on the per-line reference path. Disable to force
     /// per-line behaviour everywhere (the differential oracle does).
     pub batch_page_copy: bool,
+    /// Use the LLC page-residency fast paths (PR 3): `flush` may settle
+    /// a whole non-resident page in one step and `memcpy` may take the
+    /// batched page copy, both gated on `resident_lines_in_page`.
+    /// Disable to force the per-line reference walks everywhere — the
+    /// accounting must not change (the cache-bypass differential test
+    /// pins it), so a stale-residency bug cannot hide behind the skip.
+    pub llc_residency_fastpath: bool,
 }
 
 impl Default for MemConfig {
     fn default() -> Self {
         MemConfig {
             dram: MemorySystemConfig::default(),
+            backend: BackendKind::default(),
             llc: None,
             cost: CostModel::default(),
             batch_page_copy: true,
+            llc_residency_fastpath: true,
         }
     }
 }
@@ -149,7 +165,7 @@ pub struct BackgroundTraffic {
 /// The host memory system.
 pub struct MemSystem {
     llc: Llc,
-    dram: DramSystem,
+    dram: Box<dyn MemoryBackend>,
     cost: CostModel,
     bg: Option<(BackgroundTraffic, DetRng)>,
     bg_acc: f64,
@@ -163,6 +179,8 @@ pub struct MemSystem {
     fault_disturbances: u64,
     /// Whether `memcpy` may take the batched whole-page fast path.
     batch_page_copy: bool,
+    /// Whether the LLC page-residency fast paths may be taken.
+    llc_residency_fastpath: bool,
     /// Pages copied via the batched fast path (for tests/benchmarks).
     page_copies: u64,
 }
@@ -182,7 +200,7 @@ impl MemSystem {
         let llc_cfg = config.llc.unwrap_or_else(|| CacheConfig::mb(16, 16));
         MemSystem {
             llc: Llc::new(llc_cfg),
-            dram: DramSystem::new(config.dram),
+            dram: config.backend.build(config.dram),
             cost: config.cost,
             bg: None,
             bg_acc: 0.0,
@@ -191,6 +209,7 @@ impl MemSystem {
             deferred_wb: Vec::new(),
             fault_disturbances: 0,
             batch_page_copy: config.batch_page_copy,
+            llc_residency_fastpath: config.llc_residency_fastpath,
             page_copies: 0,
         }
     }
@@ -296,14 +315,16 @@ impl MemSystem {
         &mut self.llc
     }
 
-    /// The DRAM system (for statistics, traces and DIMM installation).
-    pub fn dram(&self) -> &DramSystem {
-        &self.dram
+    /// The memory backend (for statistics, traces and DIMM
+    /// installation). Which fidelity tier sits behind the trait is a
+    /// [`MemConfig::backend`] decision.
+    pub fn dram(&self) -> &dyn MemoryBackend {
+        &*self.dram
     }
 
-    /// Mutable DRAM access.
-    pub fn dram_mut(&mut self) -> &mut DramSystem {
-        &mut self.dram
+    /// Mutable memory-backend access.
+    pub fn dram_mut(&mut self) -> &mut dyn MemoryBackend {
+        &mut *self.dram
     }
 
     /// The CPU cost model.
@@ -324,9 +345,15 @@ impl MemSystem {
         );
         self.llc.export_telemetry(scope.scope("llc"));
         self.dram.export_telemetry(scope.scope("dram"));
+        // Backend identity: which fidelity tier produced this snapshot.
+        // Telemetry is numeric-only, so the identity string doubles as a
+        // metric name with value 1.
+        let backend = scope.scope("backend");
+        backend.set_counter("fidelity_tier", self.dram.fidelity().fidelity_tier());
+        backend.set_counter(self.dram.fidelity().as_str(), 1);
     }
 
-    fn fill_from_dram(dram: &mut DramSystem, addr: PhysAddr, tag: u64) -> ([u8; 64], u64) {
+    fn fill_from_dram(dram: &mut dyn MemoryBackend, addr: PhysAddr, tag: u64) -> ([u8; 64], u64) {
         dram.read64_tagged(addr, tag)
     }
 
@@ -334,7 +361,7 @@ impl MemSystem {
     /// miss latency.
     pub fn load_line(&mut self, addr: PhysAddr, class: usize) -> [u8; 64] {
         self.bg_tick();
-        let dram = &mut self.dram;
+        let dram = &mut *self.dram;
         let mut miss_latency = 0u64;
         let (data, ev) = self.llc.read_line(addr, class, |a| {
             let (d, lat) = Self::fill_from_dram(dram, a, class as u64);
@@ -436,7 +463,7 @@ impl MemSystem {
         // Batched whole-page fast path (unordered copies only — ordered
         // mode's per-line fences are the point of that mode; background
         // co-runners need per-line interleaving to contend realistically).
-        if self.batch_page_copy && !ordered && self.bg.is_none() {
+        if self.batch_page_copy && self.llc_residency_fastpath && !ordered && self.bg.is_none() {
             while (off as usize) + PAGE_BYTES <= size
                 && (src.0 + off).is_multiple_of(PAGE_BYTES as u64)
                 && (dst.0 + off).is_multiple_of(PAGE_BYTES as u64)
@@ -528,7 +555,8 @@ impl MemSystem {
                 // Whole page with nothing resident: every line takes the
                 // absent branch below, so charge the identical cycles in
                 // one step instead of 64 set scans.
-                if cur.is_multiple_of(4096)
+                if self.llc_residency_fastpath
+                    && cur.is_multiple_of(4096)
                     && cur + 4096 <= end
                     && self.llc.resident_lines_in_page(cur >> 12) == 0
                 {
@@ -791,6 +819,62 @@ mod tests {
         b.load(dst, &mut got_b, 0);
         assert_eq!(got_a, payload);
         assert_eq!(got_a, got_b);
+    }
+
+    #[test]
+    fn disabled_residency_fastpath_is_behavior_neutral() {
+        // `llc_residency_fastpath: false` turns off the page-residency
+        // shortcuts: flush scans every line individually (no whole-page
+        // absent step) and memcpy never takes the batched page path.
+        // Bytes, flush accounting and DRAM command counts must be
+        // identical to the fast-path build; only `page_copies` differs.
+        let mk = |fastpath| {
+            MemSystem::new(MemConfig {
+                llc: Some(CacheConfig::kb(16, 4)),
+                llc_residency_fastpath: fastpath,
+                ..MemConfig::default()
+            })
+        };
+        let mut on = mk(true);
+        let mut off = mk(false);
+        let src = PhysAddr(0x10000);
+        let dst = PhysAddr(0x20000);
+        let payload: Vec<u8> = (0..8192u32)
+            .map(|i| (i.wrapping_mul(0x9E3779B9) >> 9) as u8)
+            .collect();
+        let mut reports = Vec::new();
+        for m in [&mut on, &mut off] {
+            m.store(src, &payload, 0);
+            // Dirty flush: every line resident, none takes the shortcut
+            // even when it is enabled.
+            let dirty = m.flush(src, 8192);
+            // Absent flush: the enabled build takes the whole-page step,
+            // the disabled build scans 128 individual absent lines. The
+            // reports must still agree line for line and cycle for cycle.
+            let absent = m.flush(src, 8192);
+            m.memcpy(dst, src, 8192, 0, false);
+            reports.push((dirty, absent));
+        }
+        assert_eq!(reports[0], reports[1], "flush accounting diverged");
+        assert_eq!(reports[0].1.resident, 0, "second flush found residents");
+        assert!(on.page_copies() > 0, "fast path never engaged");
+        assert_eq!(off.page_copies(), 0, "disabled build took the fast path");
+        assert_eq!(
+            on.dram().stats().rd_cas.value(),
+            off.dram().stats().rd_cas.value(),
+            "DRAM read traffic diverged"
+        );
+        assert_eq!(
+            on.dram().stats().wr_cas.value(),
+            off.dram().stats().wr_cas.value(),
+            "DRAM write traffic diverged"
+        );
+        let mut got_on = vec![0u8; 8192];
+        let mut got_off = vec![0u8; 8192];
+        on.load(dst, &mut got_on, 0);
+        off.load(dst, &mut got_off, 0);
+        assert_eq!(got_on, payload);
+        assert_eq!(got_on, got_off);
     }
 
     #[test]

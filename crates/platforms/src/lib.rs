@@ -21,6 +21,7 @@ pub mod designspace;
 pub mod params;
 pub mod server;
 
+pub use dram::BackendKind;
 pub use params::CostParams;
 pub use server::{
     run_server, run_server_with_telemetry, PlatformKind, ServerMetrics, UlpKind, WorkloadConfig,

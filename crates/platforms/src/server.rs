@@ -23,7 +23,7 @@
 //! `RPS = min(workers/avg_latency, link, accelerator)`.
 
 use cache::CacheConfig;
-use dram::PhysAddr;
+use dram::{BackendKind, PhysAddr};
 use memsys::MemSystem;
 use simkit::DetRng;
 use smartdimm::{CompCpyHost, HostConfig, OffloadHandle, OffloadOp};
@@ -97,6 +97,11 @@ pub struct WorkloadConfig {
     /// Consecutive cachelines per channel before the mapping switches
     /// (§V-D interleave granularity; 64 = page-granular/coarse).
     pub channel_interleave_lines: usize,
+    /// Memory-backend fidelity tier (default cycle-accurate). The fast
+    /// queue model is functionally identical by contract — the
+    /// differential harness pins it — and trades timing fidelity for
+    /// wall-clock speed on long sweeps.
+    pub backend: BackendKind,
 }
 
 impl Default for WorkloadConfig {
@@ -114,6 +119,7 @@ impl Default for WorkloadConfig {
             fault_seed: None,
             channels: 1,
             channel_interleave_lines: 1,
+            backend: BackendKind::default(),
         }
     }
 }
@@ -618,6 +624,7 @@ fn run_server_instrumented(
     assert!(cfg.channels >= 1, "at least one memory channel");
     let mut host_cfg = HostConfig::default();
     host_cfg.mem.llc = cfg.llc;
+    host_cfg.mem.backend = cfg.backend;
     host_cfg.mem.dram.topology.channels = cfg.channels;
     host_cfg.mem.dram.topology.channel_interleave_lines = cfg.channel_interleave_lines.max(1);
     let mut host = CompCpyHost::new(host_cfg);
