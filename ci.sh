@@ -21,8 +21,15 @@ else
     echo "==> clippy not installed; skipping lints"
 fi
 
-echo "==> simlint --workspace (static-analysis gate)"
-cargo run --release -p simlint -q -- --workspace || status=1
+# Two-pass static-analysis gate (per-file + workspace call-graph
+# rules). The stable JSON report is kept as a CI artifact; on failure
+# the human rendering is printed for the log.
+echo "==> simlint --workspace (static-analysis gate; artifact: target/simlint.json)"
+mkdir -p target
+if ! cargo run --release -p simlint -q -- --workspace --json > target/simlint.json; then
+    cargo run --release -p simlint -q -- --workspace || true
+    status=1
+fi
 
 echo "==> cargo build --release"
 cargo build --release || status=1

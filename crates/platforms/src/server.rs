@@ -318,7 +318,7 @@ impl<'a> Engine<'a> {
         for &conn in conns {
             let req = self.req_counter;
             self.req_counter += 1;
-            inflight.push(self.produce(host, conn, req));
+            inflight.push(self.produce_stage(host, conn, req));
         }
         // Stage 2: socket write.
         for fl in &mut inflight {
@@ -342,7 +342,7 @@ impl<'a> Engine<'a> {
         self.cost.cpu_ns += cycles_to_ns(host.mem().now() - t0) as u64;
     }
 
-    fn produce(&mut self, host: &mut CompCpyHost, conn: usize, req: u64) -> Inflight {
+    fn produce_stage(&mut self, host: &mut CompCpyHost, conn: usize, req: u64) -> Inflight {
         let m = self.cfg.message_bytes;
         let p = self.cfg.costs;
         let file = conn_file_addr(conn);

@@ -28,8 +28,7 @@
 //! Every firing is appended to a log so tests can assert that the same
 //! seed reproduces the identical fault sequence.
 
-use std::sync::{Arc, Mutex};
-
+use crate::par::Shared;
 use crate::rng::DetRng;
 
 /// One injectable fault.
@@ -163,25 +162,25 @@ struct InjectorState {
 /// simulated stack hold clones of the same handle.
 #[derive(Debug, Clone)]
 pub struct FaultHandle {
-    state: Arc<Mutex<InjectorState>>,
+    state: Shared<InjectorState>,
 }
 
 impl FaultHandle {
     pub fn new(plan: FaultPlan) -> FaultHandle {
         FaultHandle {
-            state: Arc::new(Mutex::new(InjectorState {
+            state: Shared::new(InjectorState {
                 plan,
                 offload_index: None,
                 armed: Vec::new(),
                 bursts_fired: Vec::new(),
                 fired: Vec::new(),
-            })),
+            }),
         }
     }
 
     /// The plan this injector executes.
     pub fn plan(&self) -> FaultPlan {
-        self.state.lock().unwrap().plan.clone()
+        self.state.with(|s| s.plan.clone())
     }
 
     /// Advances to the next offload and arms its faults. Returns the
@@ -191,123 +190,125 @@ impl FaultHandle {
     /// armed faults are consumed (and recorded) by the device and memory
     /// hooks as they trigger.
     pub fn begin_offload(&self) -> Vec<FaultKind> {
-        let mut s = self.state.lock().unwrap();
-        let index = s.offload_index.map_or(0, |i| i + 1);
-        s.offload_index = Some(index);
-        s.armed = s.plan.armed_at(index);
-        let preps: Vec<FaultKind> = s
-            .armed
-            .iter()
-            .copied()
-            .filter(|k| {
-                matches!(
+        self.state.with(|s| {
+            let index = s.offload_index.map_or(0, |i| i + 1);
+            s.offload_index = Some(index);
+            s.armed = s.plan.armed_at(index);
+            let preps: Vec<FaultKind> = s
+                .armed
+                .iter()
+                .copied()
+                .filter(|k| {
+                    matches!(
+                        k,
+                        FaultKind::XlatPressure { .. } | FaultKind::ScratchHog { .. }
+                    )
+                })
+                .collect();
+            for k in &preps {
+                let label = k.label();
+                s.fired.push(FiredFault {
+                    offload: index,
+                    label,
+                });
+            }
+            s.armed.retain(|k| {
+                !matches!(
                     k,
                     FaultKind::XlatPressure { .. } | FaultKind::ScratchHog { .. }
                 )
-            })
-            .collect();
-        for k in &preps {
-            let label = k.label();
-            s.fired.push(FiredFault {
-                offload: index,
-                label,
             });
-        }
-        s.armed.retain(|k| {
-            !matches!(
-                k,
-                FaultKind::XlatPressure { .. } | FaultKind::ScratchHog { .. }
-            )
-        });
-        preps
+            preps
+        })
     }
 
     /// Device hook (S6): should the DSA feed of message line `line` be
     /// dropped? Fires at most once per armed event.
     pub fn drop_source_feed(&self, line: usize) -> bool {
-        let mut s = self.state.lock().unwrap();
-        let Some(pos) = s
-            .armed
-            .iter()
-            .position(|k| matches!(k, FaultKind::DropSourceFeed { line: l } if *l == line))
-        else {
-            return false;
-        };
-        let kind = s.armed.remove(pos);
-        let offload = s.offload_index.unwrap_or(0);
-        let label = kind.label();
-        s.fired.push(FiredFault { offload, label });
-        true
+        self.state.with(|s| {
+            let Some(pos) = s
+                .armed
+                .iter()
+                .position(|k| matches!(k, FaultKind::DropSourceFeed { line: l } if *l == line))
+            else {
+                return false;
+            };
+            let kind = s.armed.remove(pos);
+            let offload = s.offload_index.unwrap_or(0);
+            let label = kind.label();
+            s.fired.push(FiredFault { offload, label });
+            true
+        })
     }
 
     /// Memory-system hook: disturbance to apply to the current flush.
     /// Returns `(reorder, delayed_lines)` and consumes the armed events.
     pub fn writeback_faults(&self) -> (bool, usize) {
-        let mut s = self.state.lock().unwrap();
-        let mut reorder = false;
-        let mut delay = 0usize;
-        let offload = s.offload_index.unwrap_or(0);
-        let mut fired = Vec::new();
-        s.armed.retain(|k| match *k {
-            FaultKind::ReorderWriteback => {
-                reorder = true;
-                fired.push(k.label());
-                false
+        self.state.with(|s| {
+            let mut reorder = false;
+            let mut delay = 0usize;
+            let offload = s.offload_index.unwrap_or(0);
+            let mut fired = Vec::new();
+            s.armed.retain(|k| match *k {
+                FaultKind::ReorderWriteback => {
+                    reorder = true;
+                    fired.push(k.label());
+                    false
+                }
+                FaultKind::DelayWriteback { lines } => {
+                    delay = lines;
+                    fired.push(k.label());
+                    false
+                }
+                _ => true,
+            });
+            for label in fired {
+                s.fired.push(FiredFault { offload, label });
             }
-            FaultKind::DelayWriteback { lines } => {
-                delay = lines;
-                fired.push(k.label());
-                false
-            }
-            _ => true,
-        });
-        for label in fired {
-            s.fired.push(FiredFault { offload, label });
-        }
-        (reorder, delay)
+            (reorder, delay)
+        })
     }
 
     /// TCP hook: force-drop the segment with send index `seg`?
     pub fn tcp_force_drop(&self, seg: u64) -> bool {
-        let mut s = self.state.lock().unwrap();
-        for (i, e) in s.plan.events.clone().iter().enumerate() {
-            if let FaultKind::TcpLossBurst { start, len } = e.kind {
-                if seg >= start && seg < start + len {
-                    if !s.bursts_fired.contains(&i) {
-                        s.bursts_fired.push(i);
-                        s.fired.push(FiredFault {
-                            offload: start,
-                            label: e.kind.label(),
-                        });
+        self.state.with(|s| {
+            for (i, e) in s.plan.events.clone().iter().enumerate() {
+                if let FaultKind::TcpLossBurst { start, len } = e.kind {
+                    if seg >= start && seg < start + len {
+                        if !s.bursts_fired.contains(&i) {
+                            s.bursts_fired.push(i);
+                            s.fired.push(FiredFault {
+                                offload: start,
+                                label: e.kind.label(),
+                            });
+                        }
+                        return true;
                     }
-                    return true;
                 }
             }
-        }
-        false
+            false
+        })
     }
 
     /// Number of offloads seen so far.
     pub fn offloads_seen(&self) -> u64 {
-        let s = self.state.lock().unwrap();
-        s.offload_index.map_or(0, |i| i + 1)
+        self.state.with(|s| s.offload_index.map_or(0, |i| i + 1))
     }
 
     /// Every fault that fired, in order.
     pub fn fired(&self) -> Vec<FiredFault> {
-        self.state.lock().unwrap().fired.clone()
+        self.state.with(|s| s.fired.clone())
     }
 
     /// Compact `offload:label` log of every firing, for determinism
     /// comparisons.
     pub fn fired_log(&self) -> Vec<String> {
-        self.state
-            .lock()
-            .unwrap()
-            .fired
-            .iter()
-            .map(|f| format!("{}:{}", f.offload, f.label))
-            .collect()
+        self.state.with(|s| {
+            s.fired
+                .iter()
+                .map(|f| format!("{}:{}", f.offload, f.label))
+                .collect()
+        })
     }
 }
 

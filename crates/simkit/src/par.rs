@@ -1,0 +1,121 @@
+//! The sanctioned threading doorway (`THREAD-DET`).
+//!
+//! Live sim code must not name `std::thread`/`Mutex`/`Atomic*`/channel
+//! primitives directly — scheduler-dependent event order breaks the
+//! byte-determinism every differential suite relies on. This module is
+//! the one place allowed to own such primitives (mirroring the
+//! `simkit::timer` wall-clock doorway for `DET-NOW`), so that when the
+//! per-channel shards go parallel (ROADMAP item 3) every cross-thread
+//! interaction is funneled through wrappers this crate can keep
+//! deterministic.
+//!
+//! Two invariants the wrappers enforce today:
+//!
+//! * **no poison panics** — a panicking holder must not take the whole
+//!   simulation down with a `lock().unwrap()` cascade: state behind a
+//!   [`DetMutex`]/[`Shared`] is plain data whose consistency the sim's
+//!   own invariant checks guard, so locks recover the inner value from
+//!   a [`PoisonError`] instead of propagating it;
+//! * **closure-scoped access** — guards never escape ([`DetMutex::with`]
+//!   takes a closure), so lock scopes are lexical and a future
+//!   deterministic scheduler can reason about (and instrument) every
+//!   critical section.
+
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// A mutex whose lock never fails: poison is recovered, not propagated.
+///
+/// Used for host-local state that Algorithm 2 describes as "under the
+/// lock" (e.g. the free-page reservation count) — single-threaded
+/// today, lock-shaped so the parallel-shard scheduler can adopt it
+/// without another API change.
+#[derive(Debug, Default)]
+pub struct DetMutex<T> {
+    inner: Mutex<T>,
+}
+
+impl<T> DetMutex<T> {
+    pub fn new(value: T) -> DetMutex<T> {
+        DetMutex {
+            inner: Mutex::new(value),
+        }
+    }
+
+    /// Runs `f` with the locked value. Recovers from poison: if a
+    /// previous holder panicked, the inner value is used as-is.
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let mut guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        f(&mut guard)
+    }
+}
+
+/// Shared, cloneable, poison-recovering access to one value — the
+/// `Arc<Mutex<T>>` idiom behind the doorway. Every component of a
+/// simulated stack can hold a clone (the fault injector does).
+#[derive(Debug, Default)]
+pub struct Shared<T> {
+    inner: Arc<Mutex<T>>,
+}
+
+impl<T> Clone for Shared<T> {
+    fn clone(&self) -> Shared<T> {
+        Shared {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Shared<T> {
+    pub fn new(value: T) -> Shared<T> {
+        Shared {
+            inner: Arc::new(Mutex::new(value)),
+        }
+    }
+
+    /// Runs `f` with the locked value, recovering from poison.
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let mut guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        f(&mut guard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn det_mutex_round_trips() {
+        let m = DetMutex::new(1u64);
+        m.with(|v| *v += 41);
+        assert_eq!(m.with(|v| *v), 42);
+    }
+
+    #[test]
+    fn shared_clones_see_one_value() {
+        let a = Shared::new(Vec::<u32>::new());
+        let b = a.clone();
+        a.with(|v| v.push(7));
+        assert_eq!(b.with(|v| v.clone()), vec![7]);
+    }
+
+    /// The regression the doorway exists for: before the `simkit::par`
+    /// migration, a panicking lock holder poisoned the mutex and every
+    /// later `lock().unwrap()` aborted the whole simulation. Recovery
+    /// must hand back the inner value instead.
+    #[test]
+    fn poisoned_lock_recovers_instead_of_cascading() {
+        let s = Shared::new(5u64);
+        let s2 = s.clone();
+        let t = std::thread::spawn(move || {
+            s2.with(|v| {
+                *v = 6;
+                panic!("holder dies mid-update");
+            })
+        });
+        assert!(t.join().is_err(), "the holder thread panicked");
+        // Pre-fix equivalent: this would panic on PoisonError.
+        assert_eq!(s.with(|v| *v), 6);
+        s.with(|v| *v += 1);
+        assert_eq!(s.with(|v| *v), 7);
+    }
+}

@@ -167,7 +167,9 @@ impl Histogram {
         if self.count == 0 {
             return None;
         }
-        let max = self.max.expect("non-empty histogram has a max");
+        // count > 0 implies a recorded max; `?` keeps this panic-free
+        // on the export path either way.
+        let max = self.max?;
         let target = (q * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0;
         for (i, &c) in self.buckets.iter().enumerate() {

@@ -210,6 +210,7 @@ impl Scope {
             .or_insert_with(|| Metric::Counter(Rc::new(RefCell::new(0))));
         match metric {
             Metric::Counter(cell) => CounterHandle(cell.clone()),
+            // simlint: allow(PANIC-REACH): documented "# Panics" contract; a kind mismatch is a registration bug the suite must surface loudly
             other => panic!("{name:?} is a {}, not a counter", other.kind()),
         }
     }

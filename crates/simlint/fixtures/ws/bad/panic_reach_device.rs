@@ -1,0 +1,8 @@
+//! Bad: a hot-path entry point whose call chain reaches a panic in
+//! another crate (see `panic_reach_ulp.rs`).
+
+impl SmartDimmDevice {
+    fn on_step(&mut self) {
+        decode_stage(self.cur);
+    }
+}

@@ -1,0 +1,9 @@
+//! Bad: panic sites transitively reachable from the device hot path.
+
+pub fn decode_stage(x: Option<u32>) -> u32 {
+    let v = x.unwrap();
+    if v > MAX {
+        panic!("decode overflow");
+    }
+    v
+}

@@ -1,0 +1,8 @@
+//! Bad: host-side code pokes shard internals past the sanctioned API,
+//! both directly and through a `let dev = ...` alias.
+
+fn poke(&mut self) {
+    self.mem.device_on(0).scratchpad_write(0, 0xAA);
+    let dev = self.mem.device_on(1);
+    dev.absorb_page(7);
+}

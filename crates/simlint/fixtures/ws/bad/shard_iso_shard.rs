@@ -1,0 +1,7 @@
+//! Bad: a per-channel shard reaches for host-side state directly.
+
+impl DsaEngine {
+    fn feed(&mut self, host: &mut MemSystem) {
+        host.dimm_mut(0).absorb_page(self.page);
+    }
+}

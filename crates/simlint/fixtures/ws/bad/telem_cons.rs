@@ -1,0 +1,14 @@
+//! Bad: telemetry conservation violations on both sides — an exported
+//! mirror nothing ever bumps, and a metric missing from the report.
+
+impl BankTable {
+    fn export_telemetry(&self, scope: &mut Scope) {
+        scope.set_counter("bt_hits", self.stats.hits);
+        scope.set_counter("bt_orphan", self.stats.orphan);
+        scope.set_counter("bt_code_only", self.stats.hits);
+    }
+
+    fn access(&mut self) {
+        self.stats.hits += 1;
+    }
+}

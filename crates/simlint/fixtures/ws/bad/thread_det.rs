@@ -1,0 +1,9 @@
+//! Bad: raw threading primitives named outside the simkit::par doorway.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::Mutex;
+
+fn spin(&self) {
+    let m = Mutex::new(0u64);
+    std::thread::spawn(move || m);
+}

@@ -1,0 +1,8 @@
+//! Good: the same hot-path entry point, but the callee degrades with a
+//! typed `Option` instead of panicking.
+
+impl SmartDimmDevice {
+    fn on_step(&mut self) {
+        decode_stage(self.cur);
+    }
+}

@@ -1,0 +1,5 @@
+//! Good: no panic is reachable — out-of-range input filters to `None`.
+
+pub fn decode_stage(x: Option<u32>) -> Option<u32> {
+    x.filter(|v| *v <= MAX)
+}

@@ -1,0 +1,9 @@
+//! Good: host-side access stays on the sanctioned shard API, including
+//! through a `let dev = ...` alias.
+
+fn poke(&mut self) {
+    let snap = self.mem.device_on(0).stats();
+    let dev = self.mem.device_on(1);
+    let occ = dev.occupancy_series();
+    record(snap, occ);
+}

@@ -1,0 +1,7 @@
+//! Good: the shard touches only its own per-channel state.
+
+impl DsaEngine {
+    fn feed(&mut self) {
+        self.queue.push(self.page);
+    }
+}

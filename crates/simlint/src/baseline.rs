@@ -50,11 +50,26 @@ impl Baseline {
         Baseline { entries }
     }
 
+    /// The entry key a diagnostic on `src_line` would match.
+    pub fn key(d: &Diagnostic, src_line: &str) -> (String, String, String) {
+        (d.rule.clone(), d.file.clone(), normalize_line(src_line))
+    }
+
     /// Is this diagnostic suppressed? `src_line` is the raw text of the
     /// flagged source line.
     pub fn suppresses(&self, d: &Diagnostic, src_line: &str) -> bool {
-        self.entries
-            .contains(&(d.rule.clone(), d.file.clone(), normalize_line(src_line)))
+        self.entries.contains(&Baseline::key(d, src_line))
+    }
+
+    /// Entries that matched none of the given findings — stale entries
+    /// whose flagged code has changed or disappeared, which must be
+    /// re-reviewed (and pruned) rather than silently carried.
+    pub fn stale(&self, matched: &[(Diagnostic, String)]) -> Vec<(String, String, String)> {
+        let used: BTreeSet<(String, String, String)> = matched
+            .iter()
+            .map(|(d, src)| Baseline::key(d, src))
+            .collect();
+        self.entries.difference(&used).cloned().collect()
     }
 
     /// Renders a baseline file from a set of (diagnostic, source line)

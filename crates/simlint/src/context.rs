@@ -84,6 +84,13 @@ impl FileContext {
             .min_by_key(|f| f.span.end - f.span.start)
     }
 
+    /// Every function span, including test code (the workspace
+    /// call-graph pass needs test functions as nodes so it can mark
+    /// them and exclude them from name resolution).
+    pub fn all_fns(&self) -> &[FnSpan] {
+        &self.fn_spans
+    }
+
     /// Every function span (outside test code).
     pub fn fns(&self) -> impl Iterator<Item = &FnSpan> {
         let spans = &self.test_spans;

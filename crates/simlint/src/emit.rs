@@ -14,10 +14,15 @@ pub struct Report<'a> {
     pub files_scanned: usize,
     /// Diagnostics suppressed by the baseline file.
     pub baselined: usize,
+    /// Analysis passes that ran: `["file"]` or `["file", "workspace"]`.
+    pub passes: &'a [&'a str],
+    /// Stale baseline entries (rule, file, normalized source) — a hard
+    /// error: the reviewed code changed, so the review is void.
+    pub stale_baseline: &'a [(String, String, String)],
 }
 
 /// Human-readable listing: one `file:line: [RULE] message` per finding,
-/// plus a one-line summary.
+/// stale baseline entries, plus a one-line summary.
 pub fn render_human(r: &Report) -> String {
     let mut out = String::new();
     for d in r.diagnostics {
@@ -26,25 +31,55 @@ pub fn render_human(r: &Report) -> String {
             d.file, d.line, d.rule, d.message
         ));
     }
+    for (rule, file, src) in r.stale_baseline {
+        out.push_str(&format!(
+            "{file}: stale baseline entry [{rule}] `{src}` matches no current finding; \
+             re-review and run --prune-baseline\n"
+        ));
+    }
     out.push_str(&format!(
-        "simlint: {} finding{} in {} file{} ({} baselined)\n",
+        "simlint: {} finding{} in {} file{} ({} baselined, {} stale)\n",
         r.diagnostics.len(),
         if r.diagnostics.len() == 1 { "" } else { "s" },
         r.files_scanned,
         if r.files_scanned == 1 { "" } else { "s" },
         r.baselined,
+        r.stale_baseline.len(),
     ));
     out
 }
 
-/// Stable JSON document.
+/// Stable JSON document (schema v2: adds `passes` + `stale_baseline`).
 pub fn render_json(r: &Report) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"version\": 1,\n");
+    out.push_str("  \"version\": 2,\n");
     out.push_str("  \"tool\": \"simlint\",\n");
+    out.push_str(&format!(
+        "  \"passes\": [{}],\n",
+        r.passes
+            .iter()
+            .map(|p| json_str(p))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
     out.push_str(&format!("  \"files_scanned\": {},\n", r.files_scanned));
     out.push_str(&format!("  \"baselined\": {},\n", r.baselined));
+    out.push_str("  \"stale_baseline\": [");
+    for (i, (rule, file, src)) in r.stale_baseline.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!("\"rule\": {}, ", json_str(rule)));
+        out.push_str(&format!("\"file\": {}, ", json_str(file)));
+        out.push_str(&format!("\"source\": {}", json_str(src)));
+        out.push('}');
+    }
+    if !r.stale_baseline.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
     out.push_str("  \"diagnostics\": [");
     for (i, d) in r.diagnostics.iter().enumerate() {
         if i > 0 {
@@ -104,6 +139,8 @@ mod tests {
             diagnostics: &diags,
             files_scanned: 1,
             baselined: 0,
+            passes: &["file"],
+            stale_baseline: &[],
         };
         let j = render_json(&r);
         assert!(j.contains(r#""message": "say \"no\"""#), "{j}");
@@ -116,6 +153,8 @@ mod tests {
             diagnostics: &[],
             files_scanned: 42,
             baselined: 7,
+            passes: &["file", "workspace"],
+            stale_baseline: &[],
         };
         let j = render_json(&r);
         assert!(j.contains("\"diagnostics\": []"), "{j}");
@@ -124,13 +163,21 @@ mod tests {
     #[test]
     fn human_summary_counts() {
         let diags = sample();
+        let stale = vec![(
+            "PANIC-HOT".to_string(),
+            "crates/x/src/b.rs".to_string(),
+            "y.unwrap();".to_string(),
+        )];
         let r = Report {
             diagnostics: &diags,
             files_scanned: 2,
             baselined: 1,
+            passes: &["file"],
+            stale_baseline: &stale,
         };
         let h = render_human(&r);
         assert!(h.contains("crates/x/src/a.rs:3: [DET-HASH]"));
-        assert!(h.contains("1 finding in 2 files (1 baselined)"));
+        assert!(h.contains("stale baseline entry [PANIC-HOT]"), "{h}");
+        assert!(h.contains("1 finding in 2 files (1 baselined, 1 stale)"));
     }
 }

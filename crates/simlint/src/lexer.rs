@@ -10,17 +10,22 @@
 //! Comments are not discarded: their text is surfaced separately so the
 //! driver can honour inline `// simlint: allow(RULE): reason` markers.
 
-/// Token classification. Literal payloads are intentionally not kept:
-/// no rule matches inside literals, which is exactly the point of
-/// lexing instead of grepping.
+/// Token classification. Non-string literal payloads are intentionally
+/// not kept: no rule matches inside them, which is exactly the point of
+/// lexing instead of grepping. Plain/raw *string* literals keep their
+/// payload (as [`TokKind::Str`]) because the workspace rules resolve
+/// telemetry metric names from string arguments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TokKind {
     /// Identifier or keyword (`fn`, `HashMap`, `unwrap`, ...).
     Ident,
     /// Single punctuation character (`.`, `(`, `[`, `!`, ...).
     Punct,
-    /// String, char, byte or numeric literal (payload dropped).
+    /// Char, byte or numeric literal (payload dropped).
     Lit,
+    /// A plain or raw string literal; `text` holds the raw payload
+    /// (escape sequences are NOT decoded).
+    Str,
     /// A lifetime such as `'a` (kept distinct from char literals).
     Lifetime,
 }
@@ -42,6 +47,11 @@ impl Tok {
     /// Is this an identifier with exactly this text?
     pub fn is_ident(&self, s: &str) -> bool {
         self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// The payload of a string literal token, if this is one.
+    pub fn str_payload(&self) -> Option<&str> {
+        (self.kind == TokKind::Str).then_some(self.text.as_str())
     }
 }
 
@@ -131,11 +141,14 @@ pub fn lex(src: &str) -> Lexed {
                 });
             }
             '"' => {
+                let start_line = line;
+                let start = i + 1;
                 i = skip_quoted(&b, i + 1, &mut line, '"');
+                let end = i.saturating_sub(1).max(start);
                 out.toks.push(Tok {
-                    kind: TokKind::Lit,
-                    text: String::new(),
-                    line,
+                    kind: TokKind::Str,
+                    text: b[start..end].iter().collect(),
+                    line: start_line,
                 });
             }
             '\'' => {
@@ -179,7 +192,10 @@ pub fn lex(src: &str) -> Lexed {
                         i += 1;
                     }
                     if b.get(i) == Some(&'"') {
+                        let start_line = line;
                         i += 1;
+                        let body_start = i;
+                        let mut body_end = i;
                         // Scan for `"` followed by `hashes` `#`s.
                         'raw: while i < b.len() {
                             if b[i] == '\n' {
@@ -191,6 +207,7 @@ pub fn lex(src: &str) -> Lexed {
                                     k += 1;
                                 }
                                 if k == hashes {
+                                    body_end = i;
                                     i += 1 + hashes;
                                     break 'raw;
                                 }
@@ -198,9 +215,9 @@ pub fn lex(src: &str) -> Lexed {
                             i += 1;
                         }
                         out.toks.push(Tok {
-                            kind: TokKind::Lit,
-                            text: String::new(),
-                            line,
+                            kind: TokKind::Str,
+                            text: b[body_start..body_end.max(body_start)].iter().collect(),
+                            line: start_line,
                         });
                         continue;
                     }
@@ -310,6 +327,17 @@ mod tests {
         let lx = lex("let s = \"a\nb\nc\";\nlet t = 1;");
         let t_tok = lx.toks.iter().find(|t| t.is_ident("t")).unwrap();
         assert_eq!(t_tok.line, 4);
+    }
+
+    #[test]
+    fn string_payloads_survive_for_metric_names() {
+        let toks = lex("scope.set_counter(\"rd_cas\", v); let r = r#\"raw_name\"#;").toks;
+        let strs: Vec<&str> = toks.iter().filter_map(|t| t.str_payload()).collect();
+        assert_eq!(strs, vec!["rd_cas", "raw_name"]);
+        // Multiline strings report their starting line.
+        let toks = lex("let s =\n\"two\nlines\";").toks;
+        let s = toks.iter().find(|t| t.kind == TokKind::Str).unwrap();
+        assert_eq!(s.line, 2);
     }
 
     #[test]

@@ -13,15 +13,19 @@
 //! in-process; the CI entry point is the `simlint` binary.
 
 pub mod baseline;
+pub mod callgraph;
 pub mod context;
 pub mod emit;
 pub mod lexer;
 pub mod rules;
+pub mod wsrules;
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
 use baseline::Baseline;
+use callgraph::CallGraph;
 use context::FileContext;
 use rules::Diagnostic;
 
@@ -67,6 +71,91 @@ pub fn scan_files(files: &[(PathBuf, String)], base: &Baseline) -> ScanResult {
     }
     result.diagnostics.sort();
     result
+}
+
+/// Result of the two-pass workspace scan (per-file rules + workspace
+/// call-graph rules), with baseline bookkeeping.
+#[derive(Debug, Default)]
+pub struct WorkspaceScan {
+    /// Unsuppressed findings from both passes, with the raw source line
+    /// of each (empty when the flagged file could not be re-read).
+    pub live: Vec<(Diagnostic, String)>,
+    /// Findings suppressed by the baseline.
+    pub baselined: Vec<(Diagnostic, String)>,
+    /// Baseline entries that matched nothing — stale, a hard error.
+    pub stale_baseline: Vec<(String, String, String)>,
+    pub files_scanned: usize,
+}
+
+impl WorkspaceScan {
+    /// The live diagnostics alone, for rendering.
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        self.live.iter().map(|(d, _)| d.clone()).collect()
+    }
+}
+
+/// Runs both passes over the whole workspace rooted at `root`.
+///
+/// Pass 1 applies the per-file rules ([`rules::check_file`]) to every
+/// gate-covered file. Pass 2 builds the workspace [`CallGraph`] and
+/// applies the inter-file rules ([`wsrules::check_workspace`]),
+/// cross-checking telemetry against `results/run_report.json` when that
+/// file exists. Baseline suppression and stale-entry detection cover
+/// the union of both passes.
+pub fn scan_workspace(root: &Path, base: &Baseline) -> WorkspaceScan {
+    let files = workspace_files(root);
+    let mut parsed: Vec<(String, FileContext)> = Vec::new();
+    let mut lines_by_rel: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for (abs, rel) in &files {
+        let Ok(src) = fs::read_to_string(abs) else {
+            continue; // unreadable file: the compiler will complain, not us
+        };
+        lines_by_rel.insert(rel.clone(), src.lines().map(str::to_string).collect());
+        parsed.push((rel.clone(), FileContext::new(rel, &src)));
+    }
+
+    let mut all: Vec<Diagnostic> = Vec::new();
+    for (_, ctx) in &parsed {
+        all.extend(rules::check_file(ctx));
+    }
+
+    let graph = CallGraph::build(&parsed);
+    let report_path = root.join("results").join("run_report.json");
+    let report = fs::read_to_string(&report_path).ok();
+    if let Some(text) = &report {
+        // Report-anchored findings key their baseline entries on the
+        // report's own lines, like any other file.
+        lines_by_rel.insert(
+            "results/run_report.json".to_string(),
+            text.lines().map(str::to_string).collect(),
+        );
+    }
+    all.extend(wsrules::check_workspace(&wsrules::Workspace {
+        files: &parsed,
+        graph: &graph,
+        report: report.as_deref(),
+    }));
+
+    let mut scan = WorkspaceScan {
+        files_scanned: parsed.len(),
+        ..WorkspaceScan::default()
+    };
+    for d in all {
+        let src_line = lines_by_rel
+            .get(&d.file)
+            .and_then(|lines| lines.get(d.line.saturating_sub(1) as usize))
+            .cloned()
+            .unwrap_or_default();
+        if base.suppresses(&d, &src_line) {
+            scan.baselined.push((d, src_line));
+        } else {
+            scan.live.push((d, src_line));
+        }
+    }
+    scan.live.sort();
+    scan.baselined.sort();
+    scan.stale_baseline = base.stale(&scan.baselined);
+    scan
 }
 
 /// Walks the workspace and returns every `.rs` file the gate covers:

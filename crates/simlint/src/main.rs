@@ -1,26 +1,32 @@
 //! The `simlint` CLI — the CI gate entry point.
 //!
 //! ```text
-//! simlint --workspace [--json] [--baseline FILE] [--update-baseline]
+//! simlint --workspace [--json] [--baseline FILE] [--update-baseline | --prune-baseline]
 //! simlint FILE.rs [FILE.rs ...] [--json]
-//! simlint --list-rules
+//! simlint --rules | --list-rules
 //! ```
 //!
-//! Exit code 0 iff every finding is suppressed (inline allow marker or
-//! baseline entry); 1 if any live finding remains; 2 on usage errors.
+//! `--workspace` runs both passes: the per-file rules over every
+//! gate-covered file, then the workspace call-graph rules
+//! (PANIC-REACH / SHARD-ISO / THREAD-DET / TELEM-CONS). Exit code 0 iff
+//! every finding is suppressed (inline allow marker or baseline entry)
+//! AND no baseline entry is stale; 1 if any live finding or stale entry
+//! remains; 2 on usage errors.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use simlint::baseline::Baseline;
 use simlint::emit::{render_human, render_json, Report};
-use simlint::{find_workspace_root, scan_files, workspace_files};
+use simlint::{find_workspace_root, scan_files, WorkspaceScan};
 
 struct Args {
     workspace: bool,
     json: bool,
     update_baseline: bool,
+    prune_baseline: bool,
     list_rules: bool,
+    rules: bool,
     baseline_path: Option<PathBuf>,
     files: Vec<PathBuf>,
 }
@@ -30,7 +36,9 @@ fn parse_args() -> Result<Args, String> {
         workspace: false,
         json: false,
         update_baseline: false,
+        prune_baseline: false,
         list_rules: false,
+        rules: false,
         baseline_path: None,
         files: Vec::new(),
     };
@@ -40,24 +48,39 @@ fn parse_args() -> Result<Args, String> {
             "--workspace" => args.workspace = true,
             "--json" => args.json = true,
             "--update-baseline" => args.update_baseline = true,
+            "--prune-baseline" => args.prune_baseline = true,
             "--list-rules" => args.list_rules = true,
+            "--rules" => args.rules = true,
             "--baseline" => {
                 let p = it.next().ok_or("--baseline requires a path")?;
                 args.baseline_path = Some(PathBuf::from(p));
             }
             "--help" | "-h" => {
                 return Err("usage: simlint --workspace [--json] [--baseline FILE] \
-                            [--update-baseline] | simlint FILE.rs ... | simlint --list-rules"
+                            [--update-baseline | --prune-baseline] | simlint FILE.rs ... | \
+                            simlint --rules | simlint --list-rules"
                     .to_string());
             }
             f if !f.starts_with('-') => args.files.push(PathBuf::from(f)),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    if !args.workspace && args.files.is_empty() && !args.list_rules {
+    if args.update_baseline && args.prune_baseline {
+        return Err("--update-baseline and --prune-baseline are mutually exclusive".to_string());
+    }
+    if !args.workspace && args.files.is_empty() && !args.list_rules && !args.rules {
         return Err("nothing to scan: pass --workspace or file paths (see --help)".to_string());
     }
     Ok(args)
+}
+
+/// Every rule (both passes) with its one-line doc, in display order.
+pub fn all_rules() -> Vec<(&'static str, &'static str)> {
+    simlint::rules::RULES
+        .iter()
+        .chain(simlint::wsrules::WS_RULES.iter())
+        .copied()
+        .collect()
 }
 
 fn main() -> ExitCode {
@@ -70,92 +93,115 @@ fn main() -> ExitCode {
     };
 
     if args.list_rules {
-        for id in simlint::rules::RULE_IDS {
+        for (id, _) in all_rules() {
             println!("{id}");
         }
         return ExitCode::SUCCESS;
     }
+    if args.rules {
+        let width = all_rules()
+            .iter()
+            .map(|(id, _)| id.len())
+            .max()
+            .unwrap_or(0);
+        for (id, doc) in all_rules() {
+            println!("{id:width$}  {doc}");
+        }
+        return ExitCode::SUCCESS;
+    }
 
-    // Resolve the file set and baseline location.
     let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
-    let (files, default_baseline) = if args.workspace {
+
+    if args.workspace {
         let Some(root) = find_workspace_root(&cwd) else {
             eprintln!("simlint: no workspace root (Cargo.toml with [workspace]) above {cwd:?}");
             return ExitCode::from(2);
         };
-        let files = workspace_files(&root);
-        (files, Some(root.join("simlint.baseline")))
-    } else {
-        let files = args
-            .files
-            .iter()
-            .map(|p| (p.clone(), p.to_string_lossy().replace('\\', "/")))
-            .collect();
-        (files, None)
-    };
+        let baseline_path = args
+            .baseline_path
+            .clone()
+            .unwrap_or_else(|| root.join("simlint.baseline"));
+        let base = std::fs::read_to_string(&baseline_path)
+            .map(|text| Baseline::parse(&text))
+            .unwrap_or_default();
+        let scan = simlint::scan_workspace(&root, &base);
 
-    let baseline_path = args.baseline_path.or(default_baseline);
-    let base = baseline_path
+        if args.update_baseline || args.prune_baseline {
+            // --update-baseline absorbs live findings; --prune-baseline
+            // only keeps entries that still match something.
+            let mut items = scan.baselined.clone();
+            if args.update_baseline {
+                items.extend(scan.live.iter().cloned());
+            }
+            return write_baseline(&baseline_path, &items);
+        }
+
+        return report(&args, &scan);
+    }
+
+    // Single-file mode: per-file pass only, optional explicit baseline.
+    let base = args
+        .baseline_path
         .as_deref()
         .and_then(|p| std::fs::read_to_string(p).ok())
         .map(|text| Baseline::parse(&text))
         .unwrap_or_default();
-
+    let files: Vec<(PathBuf, String)> = args
+        .files
+        .iter()
+        .map(|p| (p.clone(), p.to_string_lossy().replace('\\', "/")))
+        .collect();
     let result = scan_files(&files, &base);
-
-    if args.update_baseline {
-        let Some(path) = baseline_path.as_deref() else {
-            eprintln!("simlint: --update-baseline requires --workspace or --baseline FILE");
-            return ExitCode::from(2);
-        };
-        return update_baseline(path, &files, &result);
-    }
-
-    let report = Report {
-        diagnostics: &result.diagnostics,
+    let scan = WorkspaceScan {
+        live: result
+            .diagnostics
+            .iter()
+            .map(|d| (d.clone(), String::new()))
+            .collect(),
+        baselined: result.baselined,
+        stale_baseline: Vec::new(),
         files_scanned: result.files_scanned,
-        baselined: result.baselined.len(),
+    };
+    report(&args, &scan)
+}
+
+/// Renders the scan and maps it to the exit code.
+fn report(args: &Args, scan: &WorkspaceScan) -> ExitCode {
+    let diags = scan.diagnostics();
+    let passes: &[&str] = if args.workspace {
+        &["file", "workspace"]
+    } else {
+        &["file"]
+    };
+    let r = Report {
+        diagnostics: &diags,
+        files_scanned: scan.files_scanned,
+        baselined: scan.baselined.len(),
+        passes,
+        stale_baseline: &scan.stale_baseline,
     };
     if args.json {
-        print!("{}", render_json(&report));
+        print!("{}", render_json(&r));
     } else {
-        print!("{}", render_human(&report));
+        print!("{}", render_human(&r));
     }
-    if result.diagnostics.is_empty() {
+    if diags.is_empty() && scan.stale_baseline.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
 }
 
-/// Rewrites the baseline to exactly the current finding set (live +
-/// already-baselined), dropping stale entries.
-fn update_baseline(
-    path: &Path,
-    files: &[(PathBuf, String)],
-    result: &simlint::ScanResult,
-) -> ExitCode {
-    let mut items = result.baselined.clone();
-    for d in &result.diagnostics {
-        let src_line = files
-            .iter()
-            .find(|(_, rel)| *rel == d.file)
-            .and_then(|(abs, _)| std::fs::read_to_string(abs).ok())
-            .and_then(|src| {
-                src.lines()
-                    .nth(d.line.saturating_sub(1) as usize)
-                    .map(|l| l.to_string())
-            })
-            .unwrap_or_default();
-        items.push((d.clone(), src_line));
-    }
-    let text = Baseline::render(&items);
+/// Rewrites the baseline file from (diagnostic, source line) pairs.
+fn write_baseline(path: &Path, items: &[(simlint::rules::Diagnostic, String)]) -> ExitCode {
+    let text = Baseline::render(items);
+    let written = Baseline::parse(&text).len(); // render dedups by key
     match std::fs::write(path, &text) {
         Ok(()) => {
             eprintln!(
                 "simlint: wrote {} entr{} to {}",
-                items.len(),
-                if items.len() == 1 { "y" } else { "ies" },
+                written,
+                if written == 1 { "y" } else { "ies" },
                 path.display()
             );
             ExitCode::SUCCESS

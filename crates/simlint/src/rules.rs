@@ -52,7 +52,7 @@ const COUNTER_HINTS: [&str; 8] = [
     "stat", "drop", "defer", "disturb", "inject", "fired", "recycle", "fault",
 ];
 
-/// All rule ids, for `--list-rules` and docs.
+/// All per-file rule ids, for `--list-rules` and docs.
 pub const RULE_IDS: [&str; 7] = [
     "DET-NOW",
     "DET-HASH",
@@ -61,6 +61,39 @@ pub const RULE_IDS: [&str; 7] = [
     "PROTO-MMIO",
     "PAIR-SCRATCH",
     "FAULT-STATS",
+];
+
+/// Per-file rules with their one-line docs, for `--rules`. A test pins
+/// this table against [`RULE_IDS`] so the docs cannot drift.
+pub const RULES: [(&str, &str); 7] = [
+    (
+        "DET-NOW",
+        "no wall-clock/OS-entropy sources in live sim code; use simkit::Cycle and DetRng",
+    ),
+    (
+        "DET-HASH",
+        "no HashMap/HashSet in live sim code; hasher-seeded iteration breaks replay",
+    ),
+    (
+        "PANIC-HOT",
+        "no unwrap/expect/panic! in the device hot-path files; degrade with a stats counter",
+    ),
+    (
+        "PANIC-INDEX",
+        "no panicking [..] indexing in the device hot-path files; use .get() or baseline",
+    ),
+    (
+        "PROTO-MMIO",
+        "MMIO config writes go through the typed 64 B descriptor API, never raw byte buffers",
+    ),
+    (
+        "PAIR-SCRATCH",
+        "every Scratchpad reserve is paired with a release on its error paths",
+    ),
+    (
+        "FAULT-STATS",
+        "every FaultHandle consult bumps a stats counter so faults are never silent",
+    ),
 ];
 
 /// Runs every applicable rule over one file.

@@ -80,15 +80,23 @@ fn fault_stats_pair() {
     assert_clean("fixtures/good/fault_stats.rs");
 }
 
-/// The JSON output is a stable machine interface: key order, sorting
-/// and escaping are pinned by this snapshot.
+/// The JSON output is a stable machine interface: key order, sorting,
+/// escaping, the v2 `passes` and `stale_baseline` fields are all pinned
+/// byte-for-byte by this snapshot.
 #[test]
 fn json_snapshot() {
     let diags = scan_fixture("fixtures/bad/det_hash.rs");
+    let stale = vec![(
+        "PANIC-INDEX".to_string(),
+        "crates/smartdimm/src/xlat.rs".to_string(),
+        "self.slots[i] = Some(cur);".to_string(),
+    )];
     let report = Report {
         diagnostics: &diags,
         files_scanned: 1,
-        baselined: 0,
+        baselined: 3,
+        passes: &["file", "workspace"],
+        stale_baseline: &stale,
     };
     let got = render_json(&report);
     let want = include_str!("snapshot_det_hash.json");

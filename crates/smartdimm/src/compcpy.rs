@@ -8,8 +8,8 @@
 
 use dram::{Dimm, PhysAddr};
 use memsys::{MemConfig, MemSystem};
+use simkit::par::DetMutex;
 use std::collections::BTreeMap;
-use std::sync::Mutex;
 
 use crate::configmem::{
     unpack_pending, ContextChunk, OffloadStatus, Registration, ResultSlot, StatusReg,
@@ -34,7 +34,9 @@ pub enum CompCpyError {
     /// channel (§V-D); this system interleaves across channels.
     SingleChannelOnly,
     /// A thread holding the driver's scratchpad-space lock panicked,
-    /// poisoning the software-side free-page tracker.
+    /// poisoning the software-side free-page tracker. Retained for API
+    /// compatibility: since the `simkit::par` doorway migration the
+    /// tracker recovers from poison, so this is no longer constructed.
     HostStatePoisoned,
 }
 
@@ -104,7 +106,7 @@ pub struct CompCpyHost {
     channels: usize,
     interleave_lines: usize,
     /// Algorithm 2's lock-protected lazy scratchpad-space tracker.
-    free_pages: Mutex<i64>,
+    free_pages: DetMutex<i64>,
     next_id: u64,
     alloc_next: u64,
     /// Phase-matched bounce regions for cross-channel offloads, pooled
@@ -150,7 +152,7 @@ impl CompCpyHost {
             result_slots: config.dimm.result_slots,
             channels: topo.channels,
             interleave_lines: topo.channel_interleave_lines,
-            free_pages: Mutex::new(-1), // Algorithm 2 line 1
+            free_pages: DetMutex::new(-1), // Algorithm 2 line 1
             next_id: 1,
             alloc_next: 0x0010_0000, // driver pool starts at 1 MB
             bounce_pool: BTreeMap::new(),
@@ -614,39 +616,30 @@ impl CompCpyHost {
         }
         self.apply_armed_faults();
         let pages_needed = 1 + size / PAGE; // line 16's reservation
-                                            // Lines 7-17: reserve scratchpad space under the lock.
-        {
-            let mut free = self
-                .free_pages
-                .lock()
-                .map_err(|_| CompCpyError::HostStatePoisoned)?;
-            if *free <= pages_needed as i64 {
-                // Lazy refresh from SmartDIMMConfig[0] (line 9).
-                let status = {
-                    let data = self.mem.mmio_read64(self.mmio(STATUS_OFFSET));
-                    StatusReg::from_bytes(&data)
-                };
-                *free = status.free_pages as i64;
-                if *free <= pages_needed as i64 {
-                    // Unlikely path (lines 10-13).
-                    drop(free);
-                    self.force_recycle(pages_needed);
-                    let status = self.read_status();
-                    let mut free = self
-                        .free_pages
-                        .lock()
-                        .map_err(|_| CompCpyError::HostStatePoisoned)?;
-                    *free = status.free_pages as i64;
-                    if *free < pages_needed as i64 {
-                        return Err(CompCpyError::OutOfScratchpad);
-                    }
-                    *free -= pages_needed as i64;
-                } else {
-                    *free -= pages_needed as i64;
+                                            // Lines 7-17: reserve scratchpad space under the lock. The
+                                            // cached count is read and written through the simkit::par
+                                            // doorway; the MMIO refresh happens between lock scopes because
+                                            // it needs the memory system.
+        let cached = self.free_pages.with(|f| *f);
+        if cached > pages_needed as i64 {
+            self.free_pages.with(|f| *f -= pages_needed as i64);
+        } else {
+            // Lazy refresh from SmartDIMMConfig[0] (line 9).
+            let status = {
+                let data = self.mem.mmio_read64(self.mmio(STATUS_OFFSET));
+                StatusReg::from_bytes(&data)
+            };
+            let mut refreshed = status.free_pages as i64;
+            if refreshed <= pages_needed as i64 {
+                // Unlikely path (lines 10-13).
+                self.force_recycle(pages_needed);
+                refreshed = self.read_status().free_pages as i64;
+                if refreshed < pages_needed as i64 {
+                    return Err(CompCpyError::OutOfScratchpad);
                 }
-            } else {
-                *free -= pages_needed as i64;
             }
+            self.free_pages
+                .with(|f| *f = refreshed - pages_needed as i64);
         }
 
         let id = self.next_id;
@@ -792,10 +785,7 @@ impl CompCpyHost {
         self.apply_armed_faults();
         // Reserve scratchpad space exactly as CompCpy does.
         let pages_needed = 1 + size / PAGE;
-        let cached = *self
-            .free_pages
-            .lock()
-            .map_err(|_| CompCpyError::HostStatePoisoned)?;
+        let cached = self.free_pages.with(|f| *f);
         if cached <= pages_needed as i64 {
             let status = self.read_status();
             let mut refreshed = status.free_pages as i64;
@@ -806,15 +796,10 @@ impl CompCpyHost {
                     return Err(CompCpyError::OutOfScratchpad);
                 }
             }
-            *self
-                .free_pages
-                .lock()
-                .map_err(|_| CompCpyError::HostStatePoisoned)? = refreshed - pages_needed as i64;
+            self.free_pages
+                .with(|f| *f = refreshed - pages_needed as i64);
         } else {
-            *self
-                .free_pages
-                .lock()
-                .map_err(|_| CompCpyError::HostStatePoisoned)? = cached - pages_needed as i64;
+            self.free_pages.with(|f| *f = cached - pages_needed as i64);
         }
         let id = self.next_id;
         self.next_id += 1;
