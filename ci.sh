@@ -21,6 +21,13 @@ else
     echo "==> clippy not installed; skipping lints"
 fi
 
+# Rustdoc gate: the API docs must build warning-clean (broken intra-doc
+# links, missing code-block languages, bad HTML all fail the build).
+# `simkit::par`, `simkit::events` and `dram::backend` additionally carry
+# `#![deny(missing_docs)]`, so every public item there must be documented.
+echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q || status=1
+
 # Two-pass static-analysis gate (per-file + workspace call-graph
 # rules). The stable JSON report is kept as a CI artifact; on failure
 # the human rendering is printed for the log.
@@ -36,6 +43,14 @@ cargo build --release || status=1
 
 echo "==> cargo test --release --workspace"
 cargo test --release --workspace -q || status=1
+
+# Parallel-runtime gate: the whole tier-1 suite once more with 4
+# shard-settle workers. Every suite must stay green and every snapshot
+# byte-identical — `tests/parallel_determinism.rs` pins the identity
+# directly, the rerun catches any test that would only fail when feeds
+# settle on pool workers (DESIGN.md §11).
+echo "==> cargo test --release --workspace (SMARTDIMM_THREADS=4)"
+SMARTDIMM_THREADS=4 cargo test --release --workspace -q || status=1
 
 # Fidelity-tier gate: the differential harness runs every committed
 # workload (TLS/deflate/1-2-4-channel sweeps, 12 fault-injected oracle

@@ -11,6 +11,10 @@
 //!    translation probe per 4 KB page).
 //! 3. `lz77_match_finder` — LZ77 tokenization: linear window scan
 //!    (`tokenize_linear`) vs the hash-chain matcher (`tokenize`).
+//! 4. `dram_backend_whole_sim` — the 4-channel run_report sweep on the
+//!    cycle-accurate FR-FCFS backend vs the fast fixed-latency tier.
+//! 5. `whole_sim_parallel` — the same sweep's independent entries run
+//!    back to back vs fanned out on a 4-worker `simkit::par` pool.
 //!
 //! All inputs are seeded and deterministic; only the wall-clock timings
 //! vary run to run. Modes:
@@ -185,6 +189,69 @@ fn bench_backend_sweep(spec: BenchSpec, connections: usize, requests: usize) -> 
     }
 }
 
+fn bench_whole_sim_parallel(spec: BenchSpec, connections: usize, requests: usize) -> HotPath {
+    // One op = the 4-channel slice of the `run_report` sweep: four
+    // independent simulations (TLS on CPU and SmartDIMM under fine
+    // interleave, deflate under coarse, TLS on the fast backend).
+    // Before: the pre-parallel report builder — entries run one after
+    // another on the caller's thread. After: the same entries fanned
+    // out on a 4-worker `simkit::par` pool, exactly as `run_report`
+    // now executes them. Results are byte-identical either way
+    // (`tests/parallel_determinism.rs` pins this); the ratio is the
+    // wall-clock scaling of whole-simulation parallelism, bounded by
+    // the slowest single entry (deflate).
+    let entries = || -> Vec<(PlatformKind, WorkloadConfig)> {
+        let tls_cfg = WorkloadConfig {
+            message_bytes: 4096,
+            connections,
+            requests,
+            ulp: UlpKind::Tls,
+            llc: Some(CacheConfig::mb(2, 16)),
+            channels: 4,
+            channel_interleave_lines: 1,
+            threads: 1,
+            ..WorkloadConfig::default()
+        };
+        let deflate_cfg = WorkloadConfig {
+            ulp: UlpKind::Compression,
+            channel_interleave_lines: 64,
+            ..tls_cfg.clone()
+        };
+        let fast_cfg = WorkloadConfig {
+            backend: BackendKind::FastQueue,
+            ..tls_cfg.clone()
+        };
+        vec![
+            (PlatformKind::Cpu, tls_cfg.clone()),
+            (PlatformKind::SmartDimm, tls_cfg),
+            (PlatformKind::SmartDimm, deflate_cfg),
+            (PlatformKind::SmartDimm, fast_cfg),
+        ]
+    };
+    let before = median_ns_per_op(spec, || {
+        for (kind, cfg) in entries() {
+            let m = run_server(kind, &cfg);
+            assert!(m.rps > 0.0);
+        }
+    });
+    let after = median_ns_per_op(spec, || {
+        let (metrics, _) =
+            simkit::par::run_indexed(4, entries(), |_, (kind, cfg)| run_server(kind, &cfg));
+        assert!(metrics.iter().all(|m| m.rps > 0.0));
+    });
+    HotPath {
+        name: "whole_sim_parallel",
+        before_impl: "sequential report builder (entries run back to back)",
+        after_impl: "4-worker simkit::par fan-out (work-stealing deque, ordered mount)",
+        work_units: format!(
+            "4-channel run_report entries: TLS cpu+smartdimm fine, deflate \
+             coarse, TLS fast-backend, {connections} conns x {requests} reqs"
+        ),
+        before_ns_per_op: before,
+        after_ns_per_op: after,
+    }
+}
+
 fn main() -> ExitCode {
     let mode = std::env::args().nth(1).unwrap_or_else(|| "full".into());
     let out_path = repo_root().join("BENCH_hotpaths.json");
@@ -228,6 +295,7 @@ fn main() -> ExitCode {
         bench_compcpy(spec, pages),
         bench_lz77(spec, lz_len),
         bench_backend_sweep(spec, sweep_scale.0, sweep_scale.1),
+        bench_whole_sim_parallel(spec, sweep_scale.0, sweep_scale.1),
     ];
     let mut rows = Vec::new();
     for p in &paths {

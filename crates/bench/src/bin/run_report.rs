@@ -24,7 +24,8 @@ use cache::CacheConfig;
 use netsim::ktls::{run_encrypted_flow, TlsPlacement};
 use netsim::tcp::TcpConfig;
 use platforms::{run_server_with_telemetry, PlatformKind, UlpKind, WorkloadConfig};
-use simkit::telemetry::Registry;
+use simkit::par::ParStats;
+use simkit::telemetry::{Registry, Scope};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -92,20 +93,89 @@ const REQUIRED_METRICS: &[&str] = &[
     "\"fidelity_tier\"",
     "\"cycle_accurate\"",
     "\"fast_queue\"",
+    // Parallel shard runtime: deterministic sync/merge counters under
+    // each host's `par` scope. Worker/steal counts are scheduler
+    // artifacts and live in the `run_report/v1` wrapper instead.
+    "\"sync_points\"",
+    "\"settled_lines\"",
+    "\"merged_events\"",
 ];
 
-/// Builds the full telemetry tree for one workload scale. Everything in
-/// here is seeded; the returned registry snapshots byte-identically for
-/// the same `(connections, requests, transfer_bytes)` triple.
-fn build_registry(connections: usize, requests: usize, transfer_bytes: u64) -> Registry {
-    let mut reg = Registry::new();
+/// One independent simulation of the report: a server workload or a
+/// kTLS flow, plus the dotted registry path its scope mounts at.
+enum Entry {
+    Server {
+        kind: PlatformKind,
+        cfg: WorkloadConfig,
+        path: String,
+        label: String,
+    },
+    Flow {
+        placement: TlsPlacement,
+        tcp: TcpConfig,
+        transfer_bytes: u64,
+        path: String,
+        label: String,
+    },
+}
 
+/// Runs one entry into a detached scope; returns `(mount path, scope,
+/// progress line)`. Pure function of the entry — safe on any worker.
+fn run_entry(e: Entry) -> (String, Scope, String) {
+    match e {
+        Entry::Server {
+            kind,
+            cfg,
+            path,
+            label,
+        } => {
+            let mut scope = Scope::default();
+            let m = run_server_with_telemetry(kind, &cfg, &mut scope);
+            let line = format!(
+                "  {label:<25} {:>10.0} rps  {:>5.1}% cpu  {:>6.2} GB/s",
+                m.rps,
+                m.cpu_utilization * 100.0,
+                m.mem_bw_gbs()
+            );
+            (path, scope, line)
+        }
+        Entry::Flow {
+            placement,
+            tcp,
+            transfer_bytes,
+            path,
+            label,
+        } => {
+            let mut scope = Scope::default();
+            let report = run_encrypted_flow(transfer_bytes, &tcp, placement);
+            report.export_telemetry(&mut scope);
+            let line = format!(
+                "  {label:<25} {:>9.2} Gbps  {:>4} resyncs  {:>4} rtx",
+                report.goodput_gbps(),
+                report.resyncs,
+                report.tcp.retransmits
+            );
+            (path, scope, line)
+        }
+    }
+}
+
+/// The report's full entry list for one workload scale. Every entry is
+/// independent (own host, own seed), which is what lets the builder fan
+/// them out across workers and still mount scopes in list order.
+fn report_entries(connections: usize, requests: usize, transfer_bytes: u64) -> Vec<Entry> {
+    let mut entries = Vec::new();
+
+    // Inner simulations run their shard settling sequentially
+    // (`threads: 1`): the report parallelizes *across* entries, and
+    // nesting both levels would oversubscribe the pool.
     let cfg = WorkloadConfig {
         message_bytes: 4096,
         connections,
         requests,
         ulp: UlpKind::Tls,
         llc: Some(CacheConfig::mb(2, 16)),
+        threads: 1,
         ..WorkloadConfig::default()
     };
     let platforms = [
@@ -115,14 +185,12 @@ fn build_registry(connections: usize, requests: usize, transfer_bytes: u64) -> R
         (PlatformKind::SmartDimm, "https_smartdimm"),
     ];
     for (kind, name) in platforms {
-        let scope = reg.scope(&format!("server.{name}"));
-        let m = run_server_with_telemetry(kind, &cfg, scope);
-        println!(
-            "  server/{name:<18} {:>10.0} rps  {:>5.1}% cpu  {:>6.2} GB/s",
-            m.rps,
-            m.cpu_utilization * 100.0,
-            m.mem_bw_gbs()
-        );
+        entries.push(Entry::Server {
+            kind,
+            cfg: cfg.clone(),
+            path: format!("server.{name}"),
+            label: format!("server/{name}"),
+        });
     }
 
     // Placement × channel-count sweep (§V-D, Fig. 11/12 at scale): TLS
@@ -141,6 +209,7 @@ fn build_registry(connections: usize, requests: usize, transfer_bytes: u64) -> R
             llc: Some(CacheConfig::mb(2, 16)),
             channels,
             channel_interleave_lines: 1,
+            threads: 1,
             ..WorkloadConfig::default()
         };
         for (kind, place) in [
@@ -148,14 +217,12 @@ fn build_registry(connections: usize, requests: usize, transfer_bytes: u64) -> R
             (PlatformKind::SmartDimm, "smartdimm"),
         ] {
             let name = format!("tls_ch{channels}_{place}");
-            let scope = reg.scope(&format!("sweep.{name}"));
-            let m = run_server_with_telemetry(kind, &tls_cfg, scope);
-            println!(
-                "  sweep/{name:<18} {:>10.0} rps  {:>5.1}% cpu  {:>6.2} GB/s",
-                m.rps,
-                m.cpu_utilization * 100.0,
-                m.mem_bw_gbs()
-            );
+            entries.push(Entry::Server {
+                kind,
+                cfg: tls_cfg.clone(),
+                path: format!("sweep.{name}"),
+                label: format!("sweep/{name}"),
+            });
         }
         let deflate_cfg = WorkloadConfig {
             ulp: UlpKind::Compression,
@@ -163,22 +230,21 @@ fn build_registry(connections: usize, requests: usize, transfer_bytes: u64) -> R
             ..tls_cfg
         };
         let name = format!("deflate_ch{channels}_smartdimm");
-        let scope = reg.scope(&format!("sweep.{name}"));
-        let m = run_server_with_telemetry(PlatformKind::SmartDimm, &deflate_cfg, scope);
-        println!(
-            "  sweep/{name:<18} {:>10.0} rps  {:>5.1}% cpu  {:>6.2} GB/s",
-            m.rps,
-            m.cpu_utilization * 100.0,
-            m.mem_bw_gbs()
-        );
+        entries.push(Entry::Server {
+            kind: PlatformKind::SmartDimm,
+            cfg: deflate_cfg,
+            path: format!("sweep.{name}"),
+            label: format!("sweep/{name}"),
+        });
     }
 
     // Fidelity-tier row: the 4-channel TLS sweep once more on the fast
     // backend. Same workload bytes, tier-1 timing — archived so report
     // consumers can see both tiers side by side (and the `backend`
     // scope marking each).
-    {
-        let fast_cfg = WorkloadConfig {
+    entries.push(Entry::Server {
+        kind: PlatformKind::SmartDimm,
+        cfg: WorkloadConfig {
             message_bytes: 4096,
             connections: sweep_conns,
             requests: sweep_reqs,
@@ -187,50 +253,70 @@ fn build_registry(connections: usize, requests: usize, transfer_bytes: u64) -> R
             channels: 4,
             channel_interleave_lines: 1,
             backend: platforms::BackendKind::FastQueue,
+            threads: 1,
             ..WorkloadConfig::default()
-        };
-        let name = "tls_ch4_smartdimm_fast";
-        let scope = reg.scope(&format!("sweep.{name}"));
-        let m = run_server_with_telemetry(PlatformKind::SmartDimm, &fast_cfg, scope);
-        println!(
-            "  sweep/{name:<18} {:>10.0} rps  {:>5.1}% cpu  {:>6.2} GB/s",
-            m.rps,
-            m.cpu_utilization * 100.0,
-            m.mem_bw_gbs()
-        );
-    }
+        },
+        path: "sweep.tls_ch4_smartdimm_fast".to_string(),
+        label: "sweep/tls_ch4_smartdimm_fast".to_string(),
+    });
 
     let tcp = TcpConfig {
         loss_prob: 0.005,
         seed: 7,
         ..TcpConfig::default()
     };
-    let flows = [
+    for (placement, name) in [
         (TlsPlacement::cpu_default(), "ktls_cpu"),
         (TlsPlacement::smartnic_default(), "ktls_smartnic"),
-    ];
-    for (placement, name) in flows {
-        let report = run_encrypted_flow(transfer_bytes, &tcp, placement);
-        report.export_telemetry(reg.scope(&format!("netsim.{name}")));
-        println!(
-            "  netsim/{name:<18} {:>9.2} Gbps  {:>4} resyncs  {:>4} rtx",
-            report.goodput_gbps(),
-            report.resyncs,
-            report.tcp.retransmits
-        );
+    ] {
+        entries.push(Entry::Flow {
+            placement,
+            tcp,
+            transfer_bytes,
+            path: format!("netsim.{name}"),
+            label: format!("netsim/{name}"),
+        });
     }
-    reg
+    entries
+}
+
+/// Builds the full telemetry tree for one workload scale, fanning the
+/// independent entries across `threads` workers. Everything is seeded
+/// and scopes mount in entry-list order, so the registry snapshots
+/// byte-identically for the same `(connections, requests,
+/// transfer_bytes)` triple at *any* worker count — only the returned
+/// [`ParStats`] (wall-clock metadata) varies.
+fn build_registry(
+    connections: usize,
+    requests: usize,
+    transfer_bytes: u64,
+    threads: usize,
+) -> (Registry, ParStats) {
+    let entries = report_entries(connections, requests, transfer_bytes);
+    let (results, stats) = simkit::par::run_indexed(threads, entries, |_, e| run_entry(e));
+    let mut reg = Registry::new();
+    for (path, scope, line) in results {
+        println!("{line}");
+        *reg.scope(&path) = scope;
+    }
+    (reg, stats)
 }
 
 /// Wraps the telemetry snapshot in the `run_report/v1` metadata document.
-/// The stamp is the only non-deterministic field, which is why it lives
-/// out here and not inside the snapshot.
-fn render_report(mode: &str, snapshot: &str) -> String {
+/// The wall-clock stamp and the scheduler stats (worker count, task and
+/// steal totals from the entry fan-out) are the only non-deterministic
+/// fields, which is why they live out here and not inside the snapshot.
+fn render_report(mode: &str, snapshot: &str, stats: ParStats) -> String {
     let indented = snapshot.replace('\n', "\n  ");
     format!(
         "{{\n  \"schema\": \"run_report/v1\",\n  \"mode\": \"{mode}\",\n  \
-         \"generated_at_unix\": {},\n  \"telemetry\": {indented}\n}}",
-        simkit::timer::unix_time_secs()
+         \"generated_at_unix\": {},\n  \"workers\": {},\n  \
+         \"par_tasks\": {},\n  \"par_steals\": {},\n  \
+         \"telemetry\": {indented}\n}}",
+        simkit::timer::unix_time_secs(),
+        stats.workers,
+        stats.tasks,
+        stats.steals
     )
 }
 
@@ -296,10 +382,11 @@ fn main() -> ExitCode {
         }
     };
 
-    println!("run report ({mode} mode)");
-    let reg = build_registry(connections, requests, transfer_bytes);
+    let threads = simkit::par::configured_threads(0);
+    println!("run report ({mode} mode, {threads} worker(s))");
+    let (reg, stats) = build_registry(connections, requests, transfer_bytes, threads);
     let snapshot = reg.snapshot();
-    let doc = render_report(&mode, &snapshot);
+    let doc = render_report(&mode, &snapshot, stats);
     assert!(json_parses(&doc), "emitted report must be valid JSON");
     for scope in REQUIRED_SCOPES {
         let leaf = scope.rsplit('.').next().expect("non-empty scope path");

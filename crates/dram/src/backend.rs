@@ -29,6 +29,7 @@
 //! wrong: byte-identical payloads and functional statistics, timing
 //! statistics within a committed tolerance band. See DESIGN.md
 //! ("Memory backend fidelity tiers").
+#![deny(missing_docs)]
 
 use simkit::{Cycle, TraceSink};
 
@@ -99,6 +100,12 @@ pub trait MemoryBackend {
     /// Mutable access to the DIMM on `channel` (buffer-device state
     /// inspection via [`crate::BufferDevice::as_any_mut`]).
     fn dimm_mut(&mut self, channel: usize) -> &mut Dimm;
+
+    /// Simultaneous mutable access to every channel's DIMM, in channel
+    /// order. This is the borrow split the parallel shard drain needs:
+    /// each `&mut Dimm` is disjoint, so a `simkit::par` worker can own
+    /// one channel's device while its siblings own theirs.
+    fn dimms_mut(&mut self) -> Vec<&mut Dimm>;
 
     /// The address mapper in use.
     fn mapper(&self) -> &AddressMapper;
@@ -214,6 +221,9 @@ impl MemoryBackend for DramSystem {
     }
     fn dimm_mut(&mut self, channel: usize) -> &mut Dimm {
         DramSystem::dimm_mut(self, channel)
+    }
+    fn dimms_mut(&mut self) -> Vec<&mut Dimm> {
+        DramSystem::dimms_mut(self)
     }
     fn mapper(&self) -> &AddressMapper {
         DramSystem::mapper(self)
@@ -424,6 +434,10 @@ impl MemoryBackend for FastDramSystem {
 
     fn dimm_mut(&mut self, channel: usize) -> &mut Dimm {
         &mut self.channels[channel].dimm
+    }
+
+    fn dimms_mut(&mut self) -> Vec<&mut Dimm> {
+        self.channels.iter_mut().map(|c| &mut c.dimm).collect()
     }
 
     fn mapper(&self) -> &AddressMapper {

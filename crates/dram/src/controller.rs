@@ -166,6 +166,12 @@ impl DramSystem {
         &mut self.channels[channel].dimm
     }
 
+    /// Disjoint mutable access to every channel's DIMM, in channel
+    /// order (the borrow split behind the parallel shard drain).
+    pub fn dimms_mut(&mut self) -> Vec<&mut Dimm> {
+        self.channels.iter_mut().map(|c| &mut c.dimm).collect()
+    }
+
     /// The address mapper in use.
     pub fn mapper(&self) -> &AddressMapper {
         &self.mapper

@@ -102,6 +102,11 @@ pub struct WorkloadConfig {
     /// differential harness pins it — and trades timing fidelity for
     /// wall-clock speed on long sweeps.
     pub backend: BackendKind,
+    /// Worker threads for parallel channel-shard settling. `0` (the
+    /// default) defers to the `SMARTDIMM_THREADS` environment variable
+    /// (sequential when unset). Simulated results are byte-identical
+    /// for every value — only wall-clock changes ([`simkit::par`]).
+    pub threads: usize,
 }
 
 impl Default for WorkloadConfig {
@@ -120,6 +125,7 @@ impl Default for WorkloadConfig {
             channels: 1,
             channel_interleave_lines: 1,
             backend: BackendKind::default(),
+            threads: 0,
         }
     }
 }
@@ -627,6 +633,7 @@ fn run_server_instrumented(
     host_cfg.mem.backend = cfg.backend;
     host_cfg.mem.dram.topology.channels = cfg.channels;
     host_cfg.mem.dram.topology.channel_interleave_lines = cfg.channel_interleave_lines.max(1);
+    host_cfg.threads = cfg.threads;
     let mut host = CompCpyHost::new(host_cfg);
     if let Some(fault_seed) = cfg.fault_seed {
         let plan = simkit::FaultPlan::generate(fault_seed, cfg.requests as u64);

@@ -4,6 +4,7 @@
 //! tie-break: events scheduled for the same cycle are delivered in the
 //! order they were pushed. Determinism of the whole simulation hinges on
 //! this property, so it is tested both directly and by property tests.
+#![deny(missing_docs)]
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;

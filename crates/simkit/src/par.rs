@@ -1,15 +1,17 @@
-//! The sanctioned threading doorway (`THREAD-DET`).
+//! The sanctioned threading doorway (`THREAD-DET`) and the deterministic
+//! parallel runtime built behind it.
 //!
 //! Live sim code must not name `std::thread`/`Mutex`/`Atomic*`/channel
 //! primitives directly — scheduler-dependent event order breaks the
 //! byte-determinism every differential suite relies on. This module is
 //! the one place allowed to own such primitives (mirroring the
-//! `simkit::timer` wall-clock doorway for `DET-NOW`), so that when the
-//! per-channel shards go parallel (ROADMAP item 3) every cross-thread
-//! interaction is funneled through wrappers this crate can keep
-//! deterministic.
+//! `simkit::timer` wall-clock doorway for `DET-NOW`), so that every
+//! cross-thread interaction of the parallel channel shards (ROADMAP
+//! item 3) is funneled through wrappers this crate keeps deterministic.
 //!
-//! Two invariants the wrappers enforce today:
+//! # Shared-state wrappers
+//!
+//! Two invariants the wrappers enforce:
 //!
 //! * **no poison panics** — a panicking holder must not take the whole
 //!   simulation down with a `lock().unwrap()` cascade: state behind a
@@ -17,24 +19,56 @@
 //!   own invariant checks guard, so locks recover the inner value from
 //!   a [`PoisonError`] instead of propagating it;
 //! * **closure-scoped access** — guards never escape ([`DetMutex::with`]
-//!   takes a closure), so lock scopes are lexical and a future
-//!   deterministic scheduler can reason about (and instrument) every
-//!   critical section.
+//!   takes a closure), so lock scopes are lexical and the deterministic
+//!   scheduler can reason about (and instrument) every critical section.
+//!
+//! # The parallel runtime
+//!
+//! [`run_indexed`] executes a batch of independent tasks on a small
+//! work-stealing pool and returns the results **in input order**,
+//! regardless of which worker ran what. Determinism is preserved by
+//! construction, not by prayer:
+//!
+//! * tasks must be *disjoint* (each owns its input — e.g. one channel
+//!   shard, one sweep configuration); the type system enforces this by
+//!   moving each item into exactly one task invocation;
+//! * result order is the input index order, so downstream merging and
+//!   telemetry mounting never observe scheduler order;
+//! * scheduler-dependent observables (which worker ran a task, how many
+//!   steals happened) are quarantined in [`ParStats`] and must never be
+//!   folded into a `telemetry/v1` snapshot — they may only be reported
+//!   in non-deterministic wrapper metadata (the same quarantine as
+//!   `run_report/v1`'s `generated_at_unix`).
+//!
+//! Cross-channel event streams are re-serialized with [`merge_ordered`],
+//! which orders events by the `(cycle, channel, seq)` key — the one
+//! total order every thread count agrees on.
+#![deny(missing_docs)]
 
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
 /// A mutex whose lock never fails: poison is recovered, not propagated.
 ///
 /// Used for host-local state that Algorithm 2 describes as "under the
-/// lock" (e.g. the free-page reservation count) — single-threaded
-/// today, lock-shaped so the parallel-shard scheduler can adopt it
-/// without another API change.
+/// lock" (e.g. the free-page reservation count) — lock-shaped so the
+/// parallel-shard scheduler can adopt it without another API change.
+///
+/// ```
+/// use simkit::par::DetMutex;
+///
+/// let reserved = DetMutex::new(0i64);
+/// reserved.with(|r| *r += 3);
+/// assert_eq!(reserved.with(|r| *r), 3);
+/// ```
 #[derive(Debug, Default)]
 pub struct DetMutex<T> {
     inner: Mutex<T>,
 }
 
 impl<T> DetMutex<T> {
+    /// Wraps `value` in a poison-recovering mutex.
     pub fn new(value: T) -> DetMutex<T> {
         DetMutex {
             inner: Mutex::new(value),
@@ -51,7 +85,17 @@ impl<T> DetMutex<T> {
 
 /// Shared, cloneable, poison-recovering access to one value — the
 /// `Arc<Mutex<T>>` idiom behind the doorway. Every component of a
-/// simulated stack can hold a clone (the fault injector does).
+/// simulated stack can hold a clone (the fault injector and every
+/// telemetry counter handle do).
+///
+/// ```
+/// use simkit::par::Shared;
+///
+/// let log = Shared::new(Vec::<&str>::new());
+/// let writer = log.clone();
+/// writer.with(|l| l.push("offload 7 settled"));
+/// assert_eq!(log.with(|l| l.len()), 1);
+/// ```
 #[derive(Debug, Default)]
 pub struct Shared<T> {
     inner: Arc<Mutex<T>>,
@@ -66,6 +110,7 @@ impl<T> Clone for Shared<T> {
 }
 
 impl<T> Shared<T> {
+    /// Wraps `value` in a shared, poison-recovering cell.
     pub fn new(value: T) -> Shared<T> {
         Shared {
             inner: Arc::new(Mutex::new(value)),
@@ -77,6 +122,235 @@ impl<T> Shared<T> {
         let mut guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         f(&mut guard)
     }
+}
+
+/// Environment knob naming the worker count for parallel sections
+/// (`SMARTDIMM_THREADS=4 cargo test ...`). Read only through
+/// [`configured_threads`].
+pub const THREADS_ENV: &str = "SMARTDIMM_THREADS";
+
+/// Resolves the effective worker count for a parallel section.
+///
+/// `requested > 0` wins; `requested == 0` means "configured": the
+/// [`THREADS_ENV`] environment variable if set to a positive integer,
+/// else `1` (fully sequential). The resolved count never influences
+/// simulated state — only wall-clock — so reading the environment here
+/// does not breach determinism.
+pub fn configured_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    match std::env::var(THREADS_ENV) {
+        Ok(v) => v
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .unwrap_or(1),
+        Err(_) => 1,
+    }
+}
+
+/// Scheduler-dependent observables of one [`run_indexed`] call.
+///
+/// These numbers vary with thread count and OS scheduling; they exist
+/// for wall-clock reporting (the `run_report/v1` wrapper) and must never
+/// be written into a deterministic telemetry snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParStats {
+    /// Workers that participated (1 for the inline sequential path).
+    pub workers: usize,
+    /// Tasks executed.
+    pub tasks: u64,
+    /// Tasks a worker stole from another worker's deque.
+    pub steals: u64,
+}
+
+impl ParStats {
+    /// Folds another run's stats into this accumulator.
+    pub fn absorb(&mut self, other: ParStats) {
+        self.workers = self.workers.max(other.workers);
+        self.tasks += other.tasks;
+        self.steals += other.steals;
+    }
+}
+
+/// One worker's end of the work-stealing deque set: the owner pops from
+/// the bottom (LIFO, cache-warm), thieves steal from the top (FIFO,
+/// oldest task first). Mutex-backed — task bodies here are whole shard
+/// drains or whole simulations, so deque overhead is noise.
+struct WsDeque<T> {
+    jobs: Mutex<VecDeque<(usize, T)>>,
+}
+
+impl<T> WsDeque<T> {
+    fn new() -> WsDeque<T> {
+        WsDeque {
+            jobs: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn push(&self, job: (usize, T)) {
+        self.jobs
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_back(job);
+    }
+
+    /// Owner pop: newest task first.
+    fn pop(&self) -> Option<(usize, T)> {
+        self.jobs
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_back()
+    }
+
+    /// Thief pop: oldest task first.
+    fn steal(&self) -> Option<(usize, T)> {
+        self.jobs
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_front()
+    }
+}
+
+/// Runs `f(index, item)` for every item on a work-stealing worker pool
+/// and returns the results **in input order** plus the (non-
+/// deterministic) scheduler stats.
+///
+/// With `threads <= 1` or fewer than two items the call degrades to a
+/// plain inline loop on the caller's thread — byte-for-byte the
+/// sequential behavior, no threads spawned. Tasks must be independent:
+/// each item is moved into exactly one `f` invocation and nothing else
+/// of the caller's state is reachable (enforce with `Fn` + `Sync`).
+///
+/// Panic containment: a panicking task poisons nothing (results and
+/// deques recover from poison) and the panic is re-raised on the caller
+/// thread after the scope joins, so a worker never dies silently.
+pub fn run_indexed<T, R, F>(threads: usize, items: Vec<T>, f: F) -> (Vec<R>, ParStats)
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let tasks = items.len() as u64;
+    if threads <= 1 || items.len() < 2 {
+        let results = items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+        return (
+            results,
+            ParStats {
+                workers: 1,
+                tasks,
+                steals: 0,
+            },
+        );
+    }
+
+    let workers = threads.min(items.len());
+    let deques: Vec<WsDeque<T>> = (0..workers).map(|_| WsDeque::new()).collect();
+    // Round-robin seeding spreads the initial load; stealing fixes any
+    // imbalance that develops from uneven task costs.
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    for (i, item) in items.into_iter().enumerate() {
+        deques[i % workers].push((i, item));
+        slots.push(None);
+    }
+    let results = Shared::new(slots);
+    let steals = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let deques = &deques;
+                let f = &f;
+                let results = results.clone();
+                let steals = &steals;
+                scope.spawn(move || {
+                    loop {
+                        let job = deques[w].pop().or_else(|| {
+                            // Scan siblings round-robin from our right
+                            // neighbor; count successful steals.
+                            (1..workers).find_map(|d| {
+                                let job = deques[(w + d) % workers].steal();
+                                if job.is_some() {
+                                    steals.fetch_add(1, Ordering::Relaxed);
+                                }
+                                job
+                            })
+                        });
+                        let Some((i, item)) = job else { break };
+                        let r = f(i, item);
+                        results.with(|slots| slots[i] = Some(r));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+
+    let collected = results.with(|slots| {
+        slots
+            .iter_mut()
+            .map(|s| s.take().expect("every task index produced a result"))
+            .collect()
+    });
+    (
+        collected,
+        ParStats {
+            workers,
+            tasks,
+            steals: steals.load(Ordering::Relaxed),
+        },
+    )
+}
+
+/// The total order every cross-channel event merge uses:
+/// `(cycle, channel, seq)`. Cycle breaks first (simulated time), the
+/// channel index second (a stable tie-break no scheduler can perturb),
+/// per-channel sequence number last (FIFO within a shard's own stream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MergeKey {
+    /// Simulated cycle the event occurred at.
+    pub cycle: u64,
+    /// Originating channel shard.
+    pub channel: usize,
+    /// Per-channel monotonic sequence number.
+    pub seq: u64,
+}
+
+/// Deterministically interleaves per-channel event streams into one
+/// sequence ordered by [`MergeKey`] — the serialization point where
+/// independently-advancing shards rejoin a single timeline. Each inner
+/// vector must already be sorted by `(cycle, seq)` (shards emit their
+/// own streams in order); the channel index is taken from the outer
+/// position.
+///
+/// The output is identical for every thread count because the key never
+/// mentions a worker, a thread, or arrival order — only simulated state.
+pub fn merge_ordered<T>(per_channel: Vec<Vec<(u64, u64, T)>>) -> Vec<(MergeKey, T)> {
+    let mut merged: Vec<(MergeKey, T)> = Vec::new();
+    for (channel, stream) in per_channel.into_iter().enumerate() {
+        for (cycle, seq, ev) in stream {
+            merged.push((
+                MergeKey {
+                    cycle,
+                    channel,
+                    seq,
+                },
+                ev,
+            ));
+        }
+    }
+    merged.sort_by_key(|(k, _)| *k);
+    merged
 }
 
 #[cfg(test)]
@@ -117,5 +391,86 @@ mod tests {
         assert_eq!(s.with(|v| *v), 6);
         s.with(|v| *v += 1);
         assert_eq!(s.with(|v| *v), 7);
+    }
+
+    #[test]
+    fn run_indexed_sequential_matches_parallel() {
+        let items: Vec<u64> = (0..37).collect();
+        let (seq, s1) = run_indexed(1, items.clone(), |i, v| (i as u64) * 1000 + v * v);
+        let (par, s4) = run_indexed(4, items, |i, v| (i as u64) * 1000 + v * v);
+        assert_eq!(seq, par, "results are input-ordered, not worker-ordered");
+        assert_eq!(s1.workers, 1);
+        assert_eq!(s4.workers, 4);
+        assert_eq!(s1.tasks, 37);
+        assert_eq!(s4.tasks, 37);
+    }
+
+    #[test]
+    fn run_indexed_moves_each_item_exactly_once() {
+        // Non-Clone items prove each is consumed by one task only.
+        struct Once(u64);
+        let items: Vec<Once> = (0..8).map(Once).collect();
+        let (out, _) = run_indexed(3, items, |_, Once(v)| v + 1);
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn run_indexed_handles_more_workers_than_items() {
+        let (out, stats) = run_indexed(16, vec![5u64, 6], |_, v| v * 2);
+        assert_eq!(out, vec![10, 12]);
+        assert!(stats.workers <= 2, "workers capped at the task count");
+    }
+
+    #[test]
+    fn run_indexed_propagates_task_panics() {
+        let r = std::panic::catch_unwind(|| {
+            run_indexed(2, vec![0u64, 1, 2, 3], |_, v| {
+                assert!(v != 2, "task 2 fails");
+                v
+            })
+        });
+        assert!(r.is_err(), "worker panic re-raised on the caller");
+    }
+
+    #[test]
+    fn configured_threads_prefers_explicit_request() {
+        assert_eq!(configured_threads(3), 3);
+        // requested == 0 falls back to env-or-1; without the variable
+        // this is 1. (The env-set path is covered by ci.sh's
+        // SMARTDIMM_THREADS=4 tier-1 run.)
+        if std::env::var(THREADS_ENV).is_err() {
+            assert_eq!(configured_threads(0), 1);
+        }
+    }
+
+    #[test]
+    fn merge_ordered_is_schedule_independent() {
+        // Two shards' streams, each sorted by (cycle, seq); the merge
+        // interleaves by cycle and breaks ties by channel then seq.
+        let ch0 = vec![(10, 0, "a"), (30, 1, "c")];
+        let ch1 = vec![(10, 0, "b"), (20, 1, "d")];
+        let merged: Vec<&str> = merge_ordered(vec![ch0, ch1])
+            .into_iter()
+            .map(|(_, ev)| ev)
+            .collect();
+        assert_eq!(merged, vec!["a", "b", "d", "c"]);
+    }
+
+    #[test]
+    fn par_stats_absorb_accumulates() {
+        let mut acc = ParStats::default();
+        acc.absorb(ParStats {
+            workers: 4,
+            tasks: 10,
+            steals: 2,
+        });
+        acc.absorb(ParStats {
+            workers: 2,
+            tasks: 5,
+            steals: 1,
+        });
+        assert_eq!(acc.workers, 4);
+        assert_eq!(acc.tasks, 15);
+        assert_eq!(acc.steals, 3);
     }
 }

@@ -9,12 +9,16 @@
 //! by [`Registry::snapshot`] into a stable-ordered JSON document
 //! (schema [`SCHEMA`] = `telemetry/v1`).
 //!
-//! The simulators are single-threaded, so "lock-free" here means plain
-//! `Rc<RefCell<..>>` handles: [`CounterHandle`] / [`GaugeHandle`] can be
-//! registered once and bumped from the hot path without re-walking the
-//! tree, while components that already aggregate their own statistics
-//! (e.g. `DramStats`, `CacheStats`, `DeviceStats`) export them with the
-//! `set_*` methods at snapshot time. Both styles meet in the same tree.
+//! Handles are live and shared: [`CounterHandle`] / [`GaugeHandle`] can
+//! be registered once and bumped from the hot path without re-walking
+//! the tree, while components that already aggregate their own
+//! statistics (e.g. `DramStats`, `CacheStats`, `DeviceStats`) export
+//! them with the `set_*` methods at snapshot time. Both styles meet in
+//! the same tree. The cells behind the handles are
+//! [`crate::par::Shared`] — the `THREAD-DET` doorway wrapper — so a
+//! whole [`Scope`] is `Send` and a parallel sweep (`simkit::par`) can
+//! build per-entry scopes on worker threads and mount them into one
+//! registry in deterministic input order.
 //!
 //! Determinism contract: two runs with the same seeds must produce
 //! **byte-identical** snapshots. Everything that renders is ordered by
@@ -36,10 +40,9 @@
 //! assert!(doc.contains("\"requests\""));
 //! ```
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
 
+use crate::par::Shared;
 use crate::stats::{Histogram, TimeSeries};
 
 /// Schema identifier stamped into every snapshot document.
@@ -50,48 +53,48 @@ pub const SCHEMA: &str = "telemetry/v1";
 /// Cloning is cheap (reference-counted); all clones observe the same
 /// value, and [`Registry::snapshot`] reads through the shared cell.
 #[derive(Debug, Clone)]
-pub struct CounterHandle(Rc<RefCell<u64>>);
+pub struct CounterHandle(Shared<u64>);
 
 impl CounterHandle {
     /// Increments by one.
     #[inline]
     pub fn inc(&self) {
-        *self.0.borrow_mut() += 1;
+        self.0.with(|v| *v += 1);
     }
 
     /// Adds `n`.
     #[inline]
     pub fn add(&self, n: u64) {
-        *self.0.borrow_mut() += n;
+        self.0.with(|v| *v += n);
     }
 
     /// Overwrites the value (used when mirroring an externally
     /// maintained counter into the tree).
     #[inline]
     pub fn set(&self, v: u64) {
-        *self.0.borrow_mut() = v;
+        self.0.with(|c| *c = v);
     }
 
     /// Current value.
     pub fn value(&self) -> u64 {
-        *self.0.borrow()
+        self.0.with(|v| *v)
     }
 }
 
 /// A live, shared handle to a registered gauge (an instantaneous `f64`).
 #[derive(Debug, Clone)]
-pub struct GaugeHandle(Rc<RefCell<f64>>);
+pub struct GaugeHandle(Shared<f64>);
 
 impl GaugeHandle {
     /// Sets the gauge.
     #[inline]
     pub fn set(&self, v: f64) {
-        *self.0.borrow_mut() = v;
+        self.0.with(|c| *c = v);
     }
 
     /// Current value.
     pub fn value(&self) -> f64 {
-        *self.0.borrow()
+        self.0.with(|v| *v)
     }
 }
 
@@ -161,8 +164,8 @@ impl TimeSeriesSnapshot {
 
 #[derive(Debug, Clone)]
 enum Metric {
-    Counter(Rc<RefCell<u64>>),
-    Gauge(Rc<RefCell<f64>>),
+    Counter(Shared<u64>),
+    Gauge(Shared<f64>),
     Histogram(HistogramSnapshot),
     TimeSeries(TimeSeriesSnapshot),
 }
@@ -207,7 +210,7 @@ impl Scope {
         let metric = self
             .metrics
             .entry(name.to_string())
-            .or_insert_with(|| Metric::Counter(Rc::new(RefCell::new(0))));
+            .or_insert_with(|| Metric::Counter(Shared::new(0)));
         match metric {
             Metric::Counter(cell) => CounterHandle(cell.clone()),
             // simlint: allow(PANIC-REACH): documented "# Panics" contract; a kind mismatch is a registration bug the suite must surface loudly
@@ -225,7 +228,7 @@ impl Scope {
         let metric = self
             .metrics
             .entry(name.to_string())
-            .or_insert_with(|| Metric::Gauge(Rc::new(RefCell::new(0.0))));
+            .or_insert_with(|| Metric::Gauge(Shared::new(0.0)));
         match metric {
             Metric::Gauge(cell) => GaugeHandle(cell.clone()),
             other => panic!("{name:?} is a {}, not a gauge", other.kind()),
@@ -414,12 +417,12 @@ fn render_metric(out: &mut String, metric: &Metric, indent: usize) {
         Metric::Counter(cell) => {
             out.push_str(&format!(
                 "{{ \"kind\": \"counter\", \"value\": {} }}",
-                cell.borrow()
+                cell.with(|v| *v)
             ));
         }
         Metric::Gauge(cell) => {
             out.push_str("{ \"kind\": \"gauge\", \"value\": ");
-            push_f64(out, *cell.borrow());
+            push_f64(out, cell.with(|v| *v));
             out.push_str(" }");
         }
         Metric::Histogram(h) => {
