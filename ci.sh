@@ -63,6 +63,13 @@ cargo test --release --test backend_differential -q || status=1
 cargo test --release --test multichannel -q || status=1
 cargo test --release --test fault_injection -q || status=1
 
+# Event-driven tail-latency gate: same-seed byte-identical snapshots and
+# thread invariance at >10k connections, admission control that fires
+# only above its pressure watermark, and goodput monotone non-increasing
+# in churn (tests/event_server.rs, DESIGN.md §12).
+echo "==> event-driven server suite"
+cargo test --release --test event_server -q || status=1
+
 # Hot-path bench smoke: tiny iteration counts — asserts the harness
 # runs and BENCH_hotpaths.json is produced and parses (check mode).
 # Ratios in smoke mode are not meaningful; committed numbers come from
@@ -73,10 +80,12 @@ cargo run --release -p bench --bin bench_hotpaths -q -- check || status=1
 
 # Run-report smoke: exercises the unified telemetry registry end to end,
 # including the placement × channel-count sweep (1/2/4 channels, §V-D)
-# with its per-channel device/scratchpad/xlat scopes. Smoke mode writes
-# target/run_report.smoke.json, never the committed report; check mode
-# then validates the committed results/run_report.json still parses and
-# covers every stat surface (DESIGN.md §8).
+# with its per-channel device/scratchpad/xlat scopes, and the
+# event-driven tail-latency sweep (fast backend, reduced connection
+# count in smoke mode). Smoke mode writes target/run_report.smoke.json,
+# never the committed report; check mode then validates the committed
+# results/run_report.json still parses and covers every stat surface —
+# including the new sweep.tail_latency_* scopes (DESIGN.md §8, §12).
 echo "==> run_report smoke + check"
 cargo run --release -p bench --bin run_report -q -- smoke || status=1
 cargo run --release -p bench --bin run_report -q -- check || status=1

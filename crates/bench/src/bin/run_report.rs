@@ -23,7 +23,10 @@ use bench::harness::json_parses;
 use cache::CacheConfig;
 use netsim::ktls::{run_encrypted_flow, TlsPlacement};
 use netsim::tcp::TcpConfig;
-use platforms::{run_server_with_telemetry, PlatformKind, UlpKind, WorkloadConfig};
+use platforms::{
+    run_event_server_with_telemetry, run_server_with_telemetry, AdmissionConfig, AdmissionPolicy,
+    EventWorkloadConfig, PlatformKind, UlpKind, WorkloadConfig,
+};
 use simkit::par::ParStats;
 use simkit::telemetry::{Registry, Scope};
 use std::path::PathBuf;
@@ -60,6 +63,15 @@ const REQUIRED_SCOPES: &[&str] = &[
     // fast fixed-latency backend (tier 1). The differential harness
     // pins its functional equality with the accurate run above.
     "sweep.tls_ch4_smartdimm_fast",
+    // Event-driven tail-latency sweep: >10k zipfian closed-loop
+    // connections on the tier-1 backend, per placement, plus an
+    // admission-controlled row on a starved scratchpad.
+    "sweep.tail_latency_cpu",
+    "sweep.tail_latency_smartnic",
+    "sweep.tail_latency_quickassist",
+    "sweep.tail_latency_smartdimm",
+    "sweep.tail_latency_deflate_smartdimm",
+    "sweep.tail_latency_smartdimm_admission",
 ];
 
 /// Metric names that prove each stat surface named in the issue is
@@ -99,6 +111,21 @@ const REQUIRED_METRICS: &[&str] = &[
     "\"sync_points\"",
     "\"settled_lines\"",
     "\"merged_events\"",
+    // Event-driven tail-latency surfaces: the request-latency histogram
+    // (whose snapshot carries p50/p99/p999 and the small-sample p999
+    // flag) and the admission-control counters.
+    "\"latency_ns\"",
+    "\"p999\"",
+    "\"p999_resolvable\"",
+    "\"admission_rejects\"",
+    "\"fallback_under_pressure\"",
+    "\"shed_requests\"",
+    "\"completed_requests\"",
+    "\"reconnects\"",
+    "\"slow_drains\"",
+    "\"makespan_ns\"",
+    "\"mean_latency_ns\"",
+    "\"max_pressure\"",
 ];
 
 /// One independent simulation of the report: a server workload or a
@@ -114,6 +141,12 @@ enum Entry {
         placement: TlsPlacement,
         tcp: TcpConfig,
         transfer_bytes: u64,
+        path: String,
+        label: String,
+    },
+    Event {
+        kind: PlatformKind,
+        cfg: EventWorkloadConfig,
         path: String,
         label: String,
     },
@@ -154,6 +187,20 @@ fn run_entry(e: Entry) -> (String, Scope, String) {
                 report.goodput_gbps(),
                 report.resyncs,
                 report.tcp.retransmits
+            );
+            (path, scope, line)
+        }
+        Entry::Event {
+            kind,
+            cfg,
+            path,
+            label,
+        } => {
+            let mut scope = Scope::default();
+            let m = run_event_server_with_telemetry(kind, &cfg, &mut scope);
+            let line = format!(
+                "  {label:<35} p50 {:>8} ns  p99 {:>8} ns  p999 {:>8} ns  {:>6.2} Gbps",
+                m.p50_ns, m.p99_ns, m.p999_ns, m.goodput_gbps
             );
             (path, scope, line)
         }
@@ -258,6 +305,63 @@ fn report_entries(connections: usize, requests: usize, transfer_bytes: u64) -> V
         },
         path: "sweep.tls_ch4_smartdimm_fast".to_string(),
         label: "sweep/tls_ch4_smartdimm_fast".to_string(),
+    });
+
+    // Event-driven tail-latency sweep: the full-mode scale is 10240
+    // logical zipfian connections and 12000 requests — enough samples to
+    // resolve p999 — on the tier-1 fast backend (a cycle-accurate run at
+    // this concurrency would dominate the report's wall-clock).
+    let event_conns = connections * 20;
+    let event_reqs = requests * 6;
+    let event_cfg = EventWorkloadConfig {
+        connections: event_conns,
+        requests: event_reqs,
+        workers: 64,
+        ulp: UlpKind::Tls,
+        llc: Some(CacheConfig::mb(2, 16)),
+        churn_permille: 100,
+        slow_client_permille: 50,
+        threads: 1,
+        ..EventWorkloadConfig::default()
+    };
+    for (kind, place) in [
+        (PlatformKind::Cpu, "cpu"),
+        (PlatformKind::SmartNic, "smartnic"),
+        (PlatformKind::QuickAssist, "quickassist"),
+        (PlatformKind::SmartDimm, "smartdimm"),
+    ] {
+        let name = format!("tail_latency_{place}");
+        entries.push(Entry::Event {
+            kind,
+            cfg: event_cfg.clone(),
+            path: format!("sweep.{name}"),
+            label: format!("sweep/{name}"),
+        });
+    }
+    entries.push(Entry::Event {
+        kind: PlatformKind::SmartDimm,
+        cfg: EventWorkloadConfig {
+            ulp: UlpKind::Compression,
+            ..event_cfg.clone()
+        },
+        path: "sweep.tail_latency_deflate_smartdimm".to_string(),
+        label: "sweep/tail_latency_deflate_smartdimm".to_string(),
+    });
+    // Admission-controlled row: a starved scratchpad pushes queue
+    // pressure over the watermark, so the committed report archives live
+    // fallback/reject counters rather than structural zeros.
+    entries.push(Entry::Event {
+        kind: PlatformKind::SmartDimm,
+        cfg: EventWorkloadConfig {
+            scratchpad_pages: Some(48),
+            admission: AdmissionConfig {
+                policy: AdmissionPolicy::CpuFallback,
+                watermark: 0.5,
+            },
+            ..event_cfg
+        },
+        path: "sweep.tail_latency_smartdimm_admission".to_string(),
+        label: "sweep/tail_latency_smartdimm_admission".to_string(),
     });
 
     let tcp = TcpConfig {

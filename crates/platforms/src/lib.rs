@@ -16,13 +16,25 @@
 //! Fig. 12; [`corun`] reproduces Table I; [`designspace`] renders the
 //! qualitative Fig. 13 comparison.
 
+//!
+//! [`eventsim`] replaces the lock-step batches with a central event-queue
+//! simulation for tail-latency studies: tens of thousands of closed-loop
+//! connections with zipfian object popularity, connection churn, slow
+//! clients, and pressure-aware admission control on the offload path.
+
 pub mod corun;
 pub mod designspace;
+pub mod eventsim;
 pub mod params;
 pub mod server;
 
 pub use dram::BackendKind;
+pub use eventsim::{
+    run_event_server, run_event_server_with_telemetry, AdmissionConfig, AdmissionPolicy,
+    EventConfigError, EventServerMetrics, EventWorkloadConfig,
+};
 pub use params::CostParams;
 pub use server::{
     run_server, run_server_with_telemetry, PlatformKind, ServerMetrics, UlpKind, WorkloadConfig,
+    WorkloadConfigError,
 };

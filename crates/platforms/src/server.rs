@@ -109,6 +109,82 @@ pub struct WorkloadConfig {
     pub threads: usize,
 }
 
+/// A degenerate [`WorkloadConfig`] caught by [`WorkloadConfig::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadConfigError {
+    /// `workers == 0`: the per-worker batch split would divide by zero.
+    ZeroWorkers,
+    /// `connections == 0`: nothing to serve.
+    ZeroConnections,
+    /// `connections` exceeds the lock-step harness's arena limit (the
+    /// staggered buffer regions overlap past 1024 connections; the
+    /// event-driven harness in [`crate::eventsim`] multiplexes larger
+    /// connection counts over a bounded arena pool instead).
+    TooManyConnections(usize),
+    /// `requests == 0`: nothing to measure.
+    ZeroRequests,
+    /// `message_bytes` is zero or exceeds the 64 KB record limit.
+    BadMessageSize(usize),
+    /// `channels == 0`: at least one memory channel is required.
+    ZeroChannels,
+}
+
+impl std::fmt::Display for WorkloadConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadConfigError::ZeroWorkers => {
+                write!(
+                    f,
+                    "workers must be >= 1 (a zero-worker pool serves nothing)"
+                )
+            }
+            WorkloadConfigError::ZeroConnections => write!(f, "connections must be >= 1"),
+            WorkloadConfigError::TooManyConnections(n) => {
+                write!(
+                    f,
+                    "{n} connections exceeds the lock-step arena limit of 1024; \
+                     use the event-driven harness (eventsim) for larger counts"
+                )
+            }
+            WorkloadConfigError::ZeroRequests => write!(f, "requests must be >= 1"),
+            WorkloadConfigError::BadMessageSize(n) => {
+                write!(f, "message_bytes {n} outside 1..=65536")
+            }
+            WorkloadConfigError::ZeroChannels => write!(f, "at least one memory channel"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadConfigError {}
+
+impl WorkloadConfig {
+    /// Validates the configuration, returning the first degeneracy found.
+    /// [`run_server`] calls this up front and panics with the rendered
+    /// error, so a `workers: 0` misconfiguration fails with a message
+    /// instead of a divide-by-zero deep inside the batch split.
+    pub fn validate(&self) -> Result<(), WorkloadConfigError> {
+        if self.message_bytes == 0 || self.message_bytes > 65536 {
+            return Err(WorkloadConfigError::BadMessageSize(self.message_bytes));
+        }
+        if self.workers == 0 {
+            return Err(WorkloadConfigError::ZeroWorkers);
+        }
+        if self.connections == 0 {
+            return Err(WorkloadConfigError::ZeroConnections);
+        }
+        if self.connections > 1024 {
+            return Err(WorkloadConfigError::TooManyConnections(self.connections));
+        }
+        if self.requests == 0 {
+            return Err(WorkloadConfigError::ZeroRequests);
+        }
+        if self.channels == 0 {
+            return Err(WorkloadConfigError::ZeroChannels);
+        }
+        Ok(())
+    }
+}
+
 impl Default for WorkloadConfig {
     fn default() -> Self {
         WorkloadConfig {
@@ -236,14 +312,41 @@ fn touch_deflate_state(host: &mut CompCpyHost, conn: usize, seed: u64, pages: us
 }
 
 /// DDR command-clock cycles per nanosecond (1600 MHz → 1.6 cyc/ns).
+/// Live code converts via the exact rational forms below; the float
+/// constant remains as the committed ratio the equivalence tests pin.
+#[cfg_attr(not(test), allow(dead_code))]
 const CYC_PER_NS: f64 = 1.6;
 
-fn advance_ns(mem: &mut MemSystem, ns: u64) {
-    mem.advance((ns as f64 * CYC_PER_NS).round() as u64);
+/// Nanoseconds → command-clock cycles, rounded to nearest.
+///
+/// 1.6 cyc/ns is the rational 8/5, so the conversion is computed in exact
+/// integer arithmetic as `(ns * 8 + 2) / 5`. The fractional part of
+/// `8·ns/5` is always one of {0, .2, .4, .6, .8} — never .5 — so adding 2
+/// before the floor division rounds to nearest with no tie ambiguity, and
+/// the result is byte-identical to the previous
+/// `(ns as f64 * 1.6).round()` for every `ns` a run can produce (the
+/// float path only diverges once `ns` approaches 2^50, far beyond any
+/// simulated duration; `exact_conversion_matches_float_path` pins this).
+pub(crate) fn ns_to_cycles(ns: u64) -> u64 {
+    (ns * 8 + 2) / 5
 }
 
-fn cycles_to_ns(cycles: u64) -> f64 {
-    cycles as f64 / CYC_PER_NS
+pub(crate) fn advance_ns(mem: &mut MemSystem, ns: u64) {
+    mem.advance(ns_to_cycles(ns));
+}
+
+/// Command-clock cycles → nanoseconds.
+///
+/// `1/1.6 = 0.625` is a dyadic rational (5/8), exactly representable in
+/// binary floating point, so the multiplication is exact up to the one
+/// final rounding of the product — unlike the previous `cycles / 1.6`,
+/// whose divisor 1.6 is itself inexact in binary. Round-tripping
+/// `ns → cycles → ns` is therefore within 0.25 ns: `ns_to_cycles` rounds
+/// to nearest with a worst-case error of 0.4 cycles (fractional parts of
+/// 8·ns/5 step by 0.2), and 0.4 · 0.625 = 0.25 ns — pinned by
+/// `round_trip_error_is_bounded`.
+pub(crate) fn cycles_to_ns(cycles: u64) -> f64 {
+    cycles as f64 * 0.625
 }
 
 fn conn_key(conn: usize) -> [u8; 16] {
@@ -261,13 +364,17 @@ fn req_iv(req: u64) -> [u8; 12] {
 
 /// One in-flight request between pipeline stages.
 #[derive(Debug)]
-struct Inflight {
-    conn: usize,
-    req: u64,
+pub(crate) struct Inflight {
+    pub(crate) conn: usize,
+    pub(crate) req: u64,
+    /// Body length for this request. The lock-step harness always uses
+    /// `cfg.message_bytes`; the event-driven harness draws per-object
+    /// zipfian sizes.
+    pub(crate) len: usize,
     /// SmartDIMM offload handles (one per page for compression).
-    handles: Vec<OffloadHandle>,
+    pub(crate) handles: Vec<OffloadHandle>,
     /// Output length (compressed size once known; message size for TLS).
-    out_len: usize,
+    pub(crate) out_len: usize,
 }
 
 /// Accumulated cost over a measurement window.
@@ -324,7 +431,8 @@ impl<'a> Engine<'a> {
         for &conn in conns {
             let req = self.req_counter;
             self.req_counter += 1;
-            inflight.push(self.produce_stage(host, conn, req));
+            let len = self.cfg.message_bytes;
+            inflight.push(self.produce_stage(host, conn, req, len));
         }
         // Stage 2: socket write.
         for fl in &mut inflight {
@@ -348,14 +456,21 @@ impl<'a> Engine<'a> {
         self.cost.cpu_ns += cycles_to_ns(host.mem().now() - t0) as u64;
     }
 
-    fn produce_stage(&mut self, host: &mut CompCpyHost, conn: usize, req: u64) -> Inflight {
-        let m = self.cfg.message_bytes;
+    pub(crate) fn produce_stage(
+        &mut self,
+        host: &mut CompCpyHost,
+        conn: usize,
+        req: u64,
+        len: usize,
+    ) -> Inflight {
+        let m = len;
         let p = self.cfg.costs;
         let file = conn_file_addr(conn);
         let rec = rec_addr(conn);
         let mut fl = Inflight {
             conn,
             req,
+            len,
             handles: Vec::new(),
             out_len: m,
         };
@@ -501,8 +616,8 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn socket_write(&mut self, host: &mut CompCpyHost, fl: &mut Inflight) {
-        let m = self.cfg.message_bytes;
+    pub(crate) fn socket_write(&mut self, host: &mut CompCpyHost, fl: &mut Inflight) {
+        let m = fl.len;
         let p = self.cfg.costs;
         let rec = rec_addr(fl.conn);
         let skb = skb_addr(fl.conn);
@@ -565,8 +680,8 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn nic_tx(&mut self, host: &mut CompCpyHost, fl: &Inflight) {
-        let m = self.cfg.message_bytes;
+    pub(crate) fn nic_tx(&mut self, host: &mut CompCpyHost, fl: &Inflight) {
+        let m = fl.len;
         let conn = fl.conn;
         let (addr, len) = match (self.cfg.ulp, self.kind) {
             (UlpKind::None, _) => (conn_file_addr(conn), m),
@@ -619,15 +734,9 @@ fn run_server_instrumented(
     kind: PlatformKind,
     cfg: &WorkloadConfig,
 ) -> (ServerMetrics, CompCpyHost) {
-    assert!(cfg.message_bytes > 0 && cfg.message_bytes <= 65536);
-    assert!(
-        cfg.connections >= 1 && cfg.connections <= 1024,
-        "1..=1024 connections"
-    );
-    assert!(cfg.workers >= 1);
-    assert!(cfg.requests >= 1);
-
-    assert!(cfg.channels >= 1, "at least one memory channel");
+    if let Err(e) = cfg.validate() {
+        panic!("invalid WorkloadConfig: {e}");
+    }
     let mut host_cfg = HostConfig::default();
     host_cfg.mem.llc = cfg.llc;
     host_cfg.mem.backend = cfg.backend;
@@ -853,5 +962,136 @@ mod tests {
             PlatformKind::SmartNic,
             &quick(UlpKind::Compression, 4096, 16),
         );
+    }
+
+    #[test]
+    fn validate_catches_degenerate_configs() {
+        let ok = WorkloadConfig::default();
+        assert_eq!(ok.validate(), Ok(()));
+
+        let cases: &[(WorkloadConfig, WorkloadConfigError)] = &[
+            (
+                WorkloadConfig {
+                    workers: 0,
+                    ..WorkloadConfig::default()
+                },
+                WorkloadConfigError::ZeroWorkers,
+            ),
+            (
+                WorkloadConfig {
+                    connections: 0,
+                    ..WorkloadConfig::default()
+                },
+                WorkloadConfigError::ZeroConnections,
+            ),
+            (
+                WorkloadConfig {
+                    connections: 1025,
+                    ..WorkloadConfig::default()
+                },
+                WorkloadConfigError::TooManyConnections(1025),
+            ),
+            (
+                WorkloadConfig {
+                    requests: 0,
+                    ..WorkloadConfig::default()
+                },
+                WorkloadConfigError::ZeroRequests,
+            ),
+            (
+                WorkloadConfig {
+                    message_bytes: 0,
+                    ..WorkloadConfig::default()
+                },
+                WorkloadConfigError::BadMessageSize(0),
+            ),
+            (
+                WorkloadConfig {
+                    message_bytes: 65537,
+                    ..WorkloadConfig::default()
+                },
+                WorkloadConfigError::BadMessageSize(65537),
+            ),
+            (
+                WorkloadConfig {
+                    channels: 0,
+                    ..WorkloadConfig::default()
+                },
+                WorkloadConfigError::ZeroChannels,
+            ),
+        ];
+        for (cfg, want) in cases {
+            assert_eq!(cfg.validate(), Err(*want));
+            // Every variant renders a non-empty human-readable message.
+            assert!(!want.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "workers must be >= 1")]
+    fn zero_workers_panics_with_message_not_divide_by_zero() {
+        // Before validate() this hit `connections / workers` and died with
+        // an anonymous "attempt to divide by zero".
+        let cfg = WorkloadConfig {
+            workers: 0,
+            ..quick(UlpKind::None, 4096, 16)
+        };
+        let _ = run_server(PlatformKind::Cpu, &cfg);
+    }
+
+    #[test]
+    fn boundary_configs_run() {
+        // workers=1 must serve a sane single-threaded pipeline, and
+        // connections < workers must not produce an empty batch.
+        let one_worker = WorkloadConfig {
+            workers: 1,
+            requests: 50,
+            ..quick(UlpKind::None, 4096, 4)
+        };
+        let m = run_server(PlatformKind::Cpu, &one_worker);
+        assert!(m.rps > 0.0 && m.rps.is_finite());
+
+        let few_conns = WorkloadConfig {
+            workers: 10,
+            requests: 50,
+            ..quick(UlpKind::None, 4096, 2)
+        };
+        assert!(batch_size(&few_conns) >= 1);
+        let m = run_server(PlatformKind::Cpu, &few_conns);
+        assert!(m.rps > 0.0 && m.rps.is_finite());
+    }
+
+    #[test]
+    fn exact_conversion_matches_float_path() {
+        // ns_to_cycles must be byte-identical to the float expression it
+        // replaced for every duration a run can produce.
+        let mut rng = DetRng::new(7);
+        for _ in 0..10_000 {
+            let ns = rng.gen_range(0..1_000_000_000_000);
+            assert_eq!(
+                ns_to_cycles(ns),
+                (ns as f64 * CYC_PER_NS).round() as u64,
+                "diverged at ns={ns}"
+            );
+        }
+        for ns in 0..2048u64 {
+            assert_eq!(ns_to_cycles(ns), (ns as f64 * CYC_PER_NS).round() as u64);
+        }
+    }
+
+    #[test]
+    fn round_trip_error_is_bounded() {
+        // ns → cycles → ns is exact to within 0.25 ns (the nearest-rounding
+        // error of ns_to_cycles scaled by 0.625 ns/cycle).
+        for ns in 0..100_000u64 {
+            let back = cycles_to_ns(ns_to_cycles(ns));
+            assert!(
+                (back - ns as f64).abs() <= 0.25,
+                "ns={ns} round-tripped to {back}"
+            );
+        }
+        // cycles → ns is exact for multiples of 8 cycles (5 ns each).
+        assert_eq!(cycles_to_ns(8), 5.0);
+        assert_eq!(cycles_to_ns(1600), 1000.0);
     }
 }

@@ -46,6 +46,6 @@ pub use clock::{Cycle, Freq, SimClock};
 pub use events::EventQueue;
 pub use fault::{FaultEvent, FaultHandle, FaultKind, FaultPlan, FiredFault};
 pub use rng::DetRng;
-pub use stats::{Counter, Histogram, Summary, TimeSeries};
+pub use stats::{Counter, Histogram, QuantileEstimate, Summary, TimeSeries};
 pub use telemetry::{CounterHandle, GaugeHandle, Registry, Scope};
 pub use trace::{TraceRecord, TraceSink};

@@ -185,6 +185,49 @@ impl Histogram {
     pub fn buckets(&self) -> &[u64] {
         &self.buckets
     }
+
+    /// [`Histogram::quantile`] plus the sample-size context needed to
+    /// judge it: the recorded sample count and whether that count is
+    /// large enough for quantile `q` to be *resolvable* — i.e. whether
+    /// at least one sample is expected above the quantile, so the
+    /// estimate is not just an alias for [`Histogram::max`].
+    ///
+    /// A p999 over 50 samples silently equals the maximum; callers that
+    /// report extreme quantiles (tail-latency sweeps) must carry this
+    /// flag so a small-sample tail is never mistaken for a measured one.
+    ///
+    /// Returns `None` if the histogram is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile_est(&self, q: f64) -> Option<QuantileEstimate> {
+        let value = self.quantile(q)?;
+        // Resolvable iff the expected number of samples strictly above
+        // the q-quantile, (1-q)·count, is at least one. q=1 is by
+        // definition the maximum and always "resolved".
+        let resolvable = q >= 1.0 || (1.0 - q) * self.count as f64 >= 1.0;
+        Some(QuantileEstimate {
+            value,
+            samples: self.count,
+            resolvable,
+        })
+    }
+}
+
+/// A quantile estimate qualified by its sample size
+/// ([`Histogram::quantile_est`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuantileEstimate {
+    /// The bucket-resolved quantile value (see [`Histogram::quantile`]).
+    pub value: u64,
+    /// Number of samples the estimate was computed over.
+    pub samples: u64,
+    /// Whether `samples` is large enough that the quantile is
+    /// distinguishable from the recorded maximum (`(1-q)·samples ≥ 1`).
+    /// When `false` the value is an alias for [`Histogram::max`] and
+    /// must not be reported as a measured tail.
+    pub resolvable: bool,
 }
 
 /// A compact numeric summary of a sequence of `f64` samples.
@@ -467,6 +510,58 @@ mod tests {
         assert_eq!(h.quantile(0.1), Some(10)); // bucket [0, 10) upper bound
         assert_eq!(h.quantile(0.9), Some(2000));
         assert_eq!(h.quantile(1.0), Some(2000));
+    }
+
+    #[test]
+    fn quantile_est_empty_is_none() {
+        let h = Histogram::new("h", 1, 4);
+        assert_eq!(h.quantile_est(0.999), None);
+        assert_eq!(h.quantile_est(0.5), None);
+    }
+
+    #[test]
+    fn quantile_est_flags_small_samples() {
+        // 1 sample: every quantile aliases the single value; p50 needs
+        // (1-0.5)*1 = 0.5 < 1 samples above it, so it is flagged too.
+        let mut h = Histogram::new("h", 1, 2000);
+        h.record(7);
+        let e = h.quantile_est(0.999).expect("non-empty");
+        assert_eq!((e.value, e.samples, e.resolvable), (7, 1, false));
+        assert!(!h.quantile_est(0.5).expect("non-empty").resolvable);
+
+        // 2 samples: p50 becomes resolvable ((1-0.5)*2 = 1), p999 not.
+        h.record(9);
+        assert!(h.quantile_est(0.5).expect("non-empty").resolvable);
+        let e = h.quantile_est(0.999).expect("non-empty");
+        assert!(!e.resolvable, "p999 over 2 samples aliases max");
+        assert_eq!(e.value, h.max().expect("max"));
+    }
+
+    #[test]
+    fn quantile_est_p999_boundary_at_1000_samples() {
+        let mut h = Histogram::new("h", 1, 2000);
+        for v in 0..999 {
+            h.record(v);
+        }
+        // 999 samples: (1-0.999)*999 = 0.999 < 1 — still flagged.
+        let e = h.quantile_est(0.999).expect("non-empty");
+        assert_eq!(e.samples, 999);
+        assert!(!e.resolvable, "p999 on 999 samples must be flagged");
+        // The 1000th sample tips it over: (1-0.999)*1000 = 1.0.
+        h.record(999);
+        let e = h.quantile_est(0.999).expect("non-empty");
+        assert_eq!(e.samples, 1000);
+        assert!(e.resolvable);
+        assert_eq!(e.value, 999);
+    }
+
+    #[test]
+    fn quantile_est_q1_is_always_resolved() {
+        let mut h = Histogram::new("h", 1, 10);
+        h.record(3);
+        let e = h.quantile_est(1.0).expect("non-empty");
+        assert!(e.resolvable, "q=1 is the max by definition");
+        assert_eq!(e.value, 3);
     }
 
     #[test]

@@ -116,11 +116,19 @@ pub struct HistogramSnapshot {
     pub p50: Option<u64>,
     /// 99th percentile (bucket-resolved), if non-empty.
     pub p99: Option<u64>,
+    /// 99.9th percentile (bucket-resolved), if non-empty.
+    pub p999: Option<u64>,
+    /// Whether the sample count is large enough for `p999` to be
+    /// distinguishable from `max` (`count ≥ 1000`); a small-sample p999
+    /// silently aliases the maximum and must not be read as a measured
+    /// tail (see [`crate::stats::QuantileEstimate`]).
+    pub p999_resolvable: bool,
 }
 
 impl HistogramSnapshot {
     /// Summarizes a histogram.
     pub fn of(h: &Histogram) -> HistogramSnapshot {
+        let p999 = h.quantile_est(0.999);
         HistogramSnapshot {
             count: h.count(),
             mean: h.mean(),
@@ -129,6 +137,8 @@ impl HistogramSnapshot {
             overflow: h.overflow(),
             p50: h.quantile(0.5),
             p99: h.quantile(0.99),
+            p999: p999.map(|e| e.value),
+            p999_resolvable: p999.is_some_and(|e| e.resolvable),
         }
     }
 }
@@ -445,6 +455,9 @@ fn render_metric(out: &mut String, metric: &Metric, indent: usize) {
             push_opt_u64(out, h.p50);
             out.push_str(", \"p99\": ");
             push_opt_u64(out, h.p99);
+            out.push_str(", \"p999\": ");
+            push_opt_u64(out, h.p999);
+            out.push_str(&format!(", \"p999_resolvable\": {}", h.p999_resolvable));
             out.push('\n');
             out.push_str(&pad);
             out.push('}');
@@ -566,6 +579,20 @@ mod tests {
         assert!(doc.contains("\"kind\": \"histogram\", \"count\": 4"));
         assert!(doc.contains("\"kind\": \"time_series\", \"len\": 2"));
         assert!(doc.contains("\"last_t\": 10, \"last_value\": 3"));
+        // 4 samples: p999 renders but is flagged as unresolvable.
+        assert!(doc.contains("\"p999\": 99, \"p999_resolvable\": false"));
+    }
+
+    #[test]
+    fn histogram_p999_resolvable_with_enough_samples() {
+        let mut reg = Registry::new();
+        let mut h = Histogram::new("lat", 1, 2000);
+        for v in 0..1000 {
+            h.record(v);
+        }
+        reg.scope("dev").set_histogram("slack", &h);
+        let doc = reg.snapshot();
+        assert!(doc.contains("\"p999\": 999, \"p999_resolvable\": true"));
     }
 
     #[test]

@@ -77,6 +77,31 @@ pub struct HostConfig {
     pub threads: usize,
 }
 
+/// Device-side queueing pressure, sampled at a settle point
+/// ([`CompCpyHost::queue_pressure`]). All fields report the *worst*
+/// shard, so a single-channel admission decision stays conservative
+/// under interleaving.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueuePressure {
+    /// Fraction of scratchpad pages free on the scarcest channel
+    /// (`1.0` = empty scratchpad, `0.0` = exhausted).
+    pub scratch_free_fraction: f64,
+    /// Translation-table occupancy on the fullest channel (`0.0`–`1.0`;
+    /// cuckoo displacement cost rises sharply past ~0.33, §IV-C).
+    pub xlat_occupancy: f64,
+    /// DSA feeds accepted but not yet settled, summed over all shards.
+    pub pending_feeds: usize,
+}
+
+impl QueuePressure {
+    /// Collapses the snapshot into one scalar in `[0, 1]`: the worst of
+    /// scratchpad usage and translation-table occupancy. Admission
+    /// controllers compare this against a watermark.
+    pub fn scalar(&self) -> f64 {
+        (1.0 - self.scratch_free_fraction).max(self.xlat_occupancy)
+    }
+}
+
 /// A live offload returned by [`CompCpyHost::comp_cpy`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OffloadHandle {
@@ -279,6 +304,38 @@ impl CompCpyHost {
     /// telemetry snapshot.
     pub fn par_stats(&self) -> simkit::par::ParStats {
         self.par_stats
+    }
+
+    /// A deterministic snapshot of device-side queueing pressure — the
+    /// inputs an admission controller needs to decide whether the next
+    /// offload should be accepted, shed, or run on the CPU instead.
+    ///
+    /// Settles every shard first (pressure fields are compute-derived),
+    /// then reports the *scarcest* shard: minimum scratchpad-free
+    /// fraction and maximum translation-table occupancy across channels,
+    /// plus the total number of DSA feeds still pending settle. The
+    /// paper's Fig. 10 story (scratchpad occupancy under load) and the
+    /// §IV-C xlat-occupancy bound are exactly the two resources that
+    /// degrade first when offloads queue faster than they are used.
+    pub fn queue_pressure(&mut self) -> QueuePressure {
+        self.sync_shards();
+        let mut scratch_free_fraction = 1.0f64;
+        let mut xlat_occupancy = 0.0f64;
+        let mut pending_feeds = 0usize;
+        for ch in 0..self.channels {
+            let dev = self.device_on(ch);
+            let cap = dev.config().scratchpad_pages.max(1);
+            let free = dev.free_pages() as f64 / cap as f64;
+            let occ = dev.xlat().occupancy();
+            scratch_free_fraction = scratch_free_fraction.min(free);
+            xlat_occupancy = xlat_occupancy.max(occ);
+            pending_feeds += dev.pending_feeds();
+        }
+        QueuePressure {
+            scratch_free_fraction,
+            xlat_occupancy,
+            pending_feeds,
+        }
     }
 
     /// Resolved worker count used for shard settling.

@@ -64,7 +64,7 @@ pub mod policy;
 pub mod scratchpad;
 pub mod xlat;
 
-pub use compcpy::{CompCpyError, CompCpyHost, HostConfig, OffloadHandle};
+pub use compcpy::{CompCpyError, CompCpyHost, HostConfig, OffloadHandle, QueuePressure};
 pub use device::{DeviceStats, SmartDimmConfig, SmartDimmDevice};
 pub use dsa::OffloadOp;
 pub use oracle::{FaultOracle, Recovery, ScenarioOutcome};
