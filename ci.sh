@@ -63,6 +63,16 @@ cargo test --release --test backend_differential -q || status=1
 cargo test --release --test multichannel -q || status=1
 cargo test --release --test fault_injection -q || status=1
 
+# Scale-out topology gate: 2-socket × 2-DIMM snapshot determinism at
+# every thread count, scheduler placement invariants (nothing feeds a
+# DSA-less slot, occupancy+locality measurably shifts placements), and
+# the per-socket interconnect counters (tests/topology.rs, DESIGN.md
+# §13). The ranks=2 oracle sweep rides in fault_injection above; the
+# run_report check below validates the committed sweep.topology_*
+# scopes and sched counters.
+echo "==> scale-out topology suite"
+cargo test --release --test topology -q || status=1
+
 # Event-driven tail-latency gate: same-seed byte-identical snapshots and
 # thread invariance at >10k connections, admission control that fires
 # only above its pressure watermark, and goodput monotone non-increasing

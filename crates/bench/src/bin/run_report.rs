@@ -29,6 +29,7 @@ use platforms::{
 };
 use simkit::par::ParStats;
 use simkit::telemetry::{Registry, Scope};
+use smartdimm::PlacementPolicy;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -59,6 +60,12 @@ const REQUIRED_SCOPES: &[&str] = &[
     "sweep.deflate_ch1_smartdimm",
     "sweep.deflate_ch2_smartdimm",
     "sweep.deflate_ch4_smartdimm",
+    // Scale-out topology sweep (§V-D on a NUMA box): 2 sockets ×
+    // 2 DIMMs/channel, CPU baseline plus SmartDIMM under both
+    // placement policies.
+    "sweep.topology_cpu",
+    "sweep.topology_static_smartdimm",
+    "sweep.topology_sched_smartdimm",
     // Fidelity-tier coverage: the 4-channel TLS sweep repeated on the
     // fast fixed-latency backend (tier 1). The differential harness
     // pins its functional equality with the accurate run above.
@@ -111,6 +118,17 @@ const REQUIRED_METRICS: &[&str] = &[
     "\"sync_points\"",
     "\"settled_lines\"",
     "\"merged_events\"",
+    // Scale-out topology surfaces: per-socket rollup scopes with the
+    // interconnect CAS counter, and the offload scheduler's placement
+    // accounting.
+    "\"socket0\"",
+    "\"socket1\"",
+    "\"remote_accesses\"",
+    "\"static_placements\"",
+    "\"rehomed_offloads\"",
+    "\"migrated_offloads\"",
+    "\"remote_placements\"",
+    "\"local_placements\"",
     // Event-driven tail-latency surfaces: the request-latency histogram
     // (whose snapshot carries p50/p99/p999 and the small-sample p999
     // flag) and the admission-control counters.
@@ -280,6 +298,52 @@ fn report_entries(connections: usize, requests: usize, transfer_bytes: u64) -> V
         entries.push(Entry::Server {
             kind: PlatformKind::SmartDimm,
             cfg: deflate_cfg,
+            path: format!("sweep.{name}"),
+            label: format!("sweep/{name}"),
+        });
+    }
+
+    // Scale-out topology sweep (§V-D on a NUMA box): 4 channels split
+    // across 2 sockets with 2 DIMMs per channel — only slot 0 of each
+    // channel carries the DSA, and remote-socket CAS pays a 200-cycle
+    // interconnect penalty. One CPU baseline plus the SmartDIMM rows
+    // under both placement policies, so the report shows the
+    // occupancy+locality scheduler shifting offloads off the remote
+    // socket (per-socket `remote_accesses` rollups and the host `sched`
+    // counters make the shift auditable).
+    let topo_cfg = WorkloadConfig {
+        message_bytes: 4096,
+        connections: sweep_conns,
+        requests: sweep_reqs,
+        ulp: UlpKind::Tls,
+        llc: Some(CacheConfig::mb(2, 16)),
+        channels: 4,
+        channel_interleave_lines: 64,
+        dimms_per_channel: 2,
+        sockets: 2,
+        interconnect_penalty_cycles: 200,
+        threads: 1,
+        ..WorkloadConfig::default()
+    };
+    entries.push(Entry::Server {
+        kind: PlatformKind::Cpu,
+        cfg: topo_cfg.clone(),
+        path: "sweep.topology_cpu".to_string(),
+        label: "sweep/topology_cpu".to_string(),
+    });
+    for (placement, name) in [
+        (PlacementPolicy::Static, "topology_static_smartdimm"),
+        (
+            PlacementPolicy::OccupancyLocality,
+            "topology_sched_smartdimm",
+        ),
+    ] {
+        entries.push(Entry::Server {
+            kind: PlatformKind::SmartDimm,
+            cfg: WorkloadConfig {
+                placement,
+                ..topo_cfg.clone()
+            },
             path: format!("sweep.{name}"),
             label: format!("sweep/{name}"),
         });

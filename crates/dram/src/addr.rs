@@ -53,10 +53,20 @@ impl fmt::Display for PhysAddr {
 /// DRAM organization parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DramTopology {
-    /// Number of memory channels.
+    /// Number of memory channels (total, across all sockets).
     pub channels: usize,
-    /// Ranks per channel.
+    /// Ranks per DIMM.
     pub ranks: usize,
+    /// DIMMs per channel. Only the slot-0 DIMM of each channel carries
+    /// the SmartDIMM buffer device; the remaining slots are plain
+    /// capacity DIMMs, so offload placement has to care which DIMM a
+    /// buffer decodes to.
+    pub dimms_per_channel: usize,
+    /// CPU sockets. Channels are split evenly across sockets
+    /// (`channels % sockets == 0`); accesses from the home socket to a
+    /// channel owned by another socket cross the inter-socket link and
+    /// pay the configured interconnect penalty.
+    pub sockets: usize,
     /// Bank groups per rank (DDR4: 4).
     pub bank_groups: usize,
     /// Banks per bank group (DDR4: 4).
@@ -71,11 +81,16 @@ pub struct DramTopology {
 }
 
 impl Default for DramTopology {
-    /// Single-channel, single-rank 16 GiB-class DIMM — the AxDIMM setup.
+    /// Single-socket, single-channel, single-rank 4 GiB DIMM — the
+    /// AxDIMM-class setup scaled down for simulation (16 banks ×
+    /// 32 Ki rows × 8 KB rows). `capacity_math` in this module asserts
+    /// this figure so the doc and the geometry cannot drift apart.
     fn default() -> Self {
         DramTopology {
             channels: 1,
             ranks: 1,
+            dimms_per_channel: 1,
+            sockets: 1,
             bank_groups: 4,
             banks_per_group: 4,
             lines_per_row: 128,
@@ -91,9 +106,36 @@ impl DramTopology {
         self.bank_groups * self.banks_per_group
     }
 
+    /// Ranks visible on one channel's command bus: `ranks` per DIMM ×
+    /// `dimms_per_channel` slots. The address decode's rank field spans
+    /// this range; `rank / ranks` recovers the DIMM slot.
+    pub fn ranks_per_channel(&self) -> usize {
+        self.ranks * self.dimms_per_channel
+    }
+
+    /// Channels owned by each socket (`channels / sockets`).
+    pub fn channels_per_socket(&self) -> usize {
+        self.channels / self.sockets
+    }
+
+    /// The socket owning `channel` — channels are split contiguously.
+    pub fn socket_of_channel(&self, channel: usize) -> usize {
+        channel / self.channels_per_socket()
+    }
+
+    /// The DIMM slot within a channel that a decoded (channel-local)
+    /// rank index belongs to. Slot 0 is the DSA-bearing DIMM.
+    pub fn dimm_slot_of_rank(&self, rank: usize) -> usize {
+        rank / self.ranks
+    }
+
     /// Total addressable bytes.
     pub fn capacity_bytes(&self) -> u64 {
-        (self.channels * self.ranks * self.banks_per_rank() * self.rows * self.lines_per_row) as u64
+        (self.channels
+            * self.ranks_per_channel()
+            * self.banks_per_rank()
+            * self.rows
+            * self.lines_per_row) as u64
             * 64
     }
 }
@@ -103,7 +145,9 @@ impl DramTopology {
 pub struct Loc {
     /// Channel index.
     pub channel: usize,
-    /// Rank within the channel.
+    /// Rank within the channel, spanning every DIMM slot on the bus
+    /// (`0..ranks_per_channel()`); `rank / ranks` is the DIMM slot and
+    /// `rank % ranks` the rank within that DIMM.
     pub rank: usize,
     /// Bank group.
     pub bg: usize,
@@ -150,6 +194,14 @@ impl AddressMapper {
         assert!(topo.bank_groups > 0 && topo.banks_per_group > 0, "no banks");
         assert!(topo.lines_per_row > 0 && topo.rows > 0, "no rows");
         assert!(
+            topo.dimms_per_channel > 0 && topo.sockets > 0,
+            "empty topology"
+        );
+        assert!(
+            topo.channels.is_multiple_of(topo.sockets),
+            "channels must split evenly across sockets"
+        );
+        assert!(
             topo.channel_interleave_lines.is_power_of_two(),
             "interleave granularity must be a power of two"
         );
@@ -180,8 +232,9 @@ impl AddressMapper {
         let rest = rest / t.banks_per_group as u64;
         let col = (rest % t.lines_per_row as u64) as usize;
         let rest = rest / t.lines_per_row as u64;
-        let rank = (rest % t.ranks as u64) as usize;
-        let row = (rest / t.ranks as u64) as usize % t.rows;
+        let ranks = t.ranks_per_channel() as u64;
+        let rank = (rest % ranks) as usize;
+        let row = (rest / ranks) as usize % t.rows;
         Loc {
             channel,
             rank,
@@ -199,7 +252,7 @@ impl AddressMapper {
     pub fn encode(&self, loc: &Loc) -> PhysAddr {
         let t = &self.topo;
         let mut line = loc.row as u64;
-        line = line * t.ranks as u64 + loc.rank as u64;
+        line = line * t.ranks_per_channel() as u64 + loc.rank as u64;
         line = line * t.lines_per_row as u64 + loc.col as u64;
         line = line * t.banks_per_group as u64 + loc.bank as u64;
         line = line * t.bank_groups as u64 + loc.bg as u64;
@@ -288,9 +341,70 @@ mod tests {
     #[test]
     fn capacity_math() {
         let topo = DramTopology::default();
-        // 1 ch * 1 rank * 16 banks * 32768 rows * 128 lines * 64 B = 4 GiB.
+        // 1 ch * 1 rank * 16 banks * 32768 rows * 128 lines * 64 B = 4 GiB —
+        // exactly what `DramTopology::default()`'s rustdoc promises.
         assert_eq!(topo.capacity_bytes(), 4 << 30);
         assert_eq!(topo.banks_per_rank(), 16);
+        // Extra DIMM slots add capacity multiplicatively.
+        let multi = DramTopology {
+            dimms_per_channel: 2,
+            ..topo
+        };
+        assert_eq!(multi.capacity_bytes(), 8 << 30);
+    }
+
+    #[test]
+    fn topology_helpers() {
+        let topo = DramTopology {
+            channels: 4,
+            ranks: 2,
+            dimms_per_channel: 2,
+            sockets: 2,
+            ..DramTopology::default()
+        };
+        assert_eq!(topo.ranks_per_channel(), 4);
+        assert_eq!(topo.channels_per_socket(), 2);
+        assert_eq!(topo.socket_of_channel(0), 0);
+        assert_eq!(topo.socket_of_channel(1), 0);
+        assert_eq!(topo.socket_of_channel(2), 1);
+        assert_eq!(topo.socket_of_channel(3), 1);
+        assert_eq!(topo.dimm_slot_of_rank(0), 0);
+        assert_eq!(topo.dimm_slot_of_rank(1), 0);
+        assert_eq!(topo.dimm_slot_of_rank(2), 1);
+        assert_eq!(topo.dimm_slot_of_rank(3), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "split evenly")]
+    fn sockets_must_divide_channels() {
+        let topo = DramTopology {
+            channels: 3,
+            sockets: 2,
+            ..DramTopology::default()
+        };
+        AddressMapper::new(topo);
+    }
+
+    #[test]
+    fn rank_field_spans_dimm_slots() {
+        let topo = DramTopology {
+            ranks: 1,
+            dimms_per_channel: 2,
+            ..DramTopology::default()
+        };
+        let mapper = AddressMapper::new(topo);
+        // With one rank per DIMM and two slots, the decoded rank field
+        // alternates slots exactly where a 2-rank decode would
+        // alternate ranks, and every address round-trips.
+        let mut seen_slot1 = false;
+        for line in 0..(1u64 << 16) {
+            let a = PhysAddr(line * 64);
+            let loc = mapper.decode(a);
+            assert!(loc.rank < topo.ranks_per_channel());
+            seen_slot1 |= topo.dimm_slot_of_rank(loc.rank) == 1;
+            assert_eq!(mapper.encode(&loc), a);
+        }
+        assert!(seen_slot1, "slot-1 DIMM never addressed");
     }
 
     proptest! {
@@ -299,11 +413,13 @@ mod tests {
             addr_line in 0u64..(1 << 24),
             channels in 1usize..4,
             ranks in 1usize..3,
+            dimms in 1usize..3,
             gran_log in 0u32..3,
         ) {
             let topo = DramTopology {
                 channels,
                 ranks,
+                dimms_per_channel: dimms,
                 channel_interleave_lines: 1 << gran_log,
                 ..DramTopology::default()
             };

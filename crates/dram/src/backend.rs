@@ -282,7 +282,9 @@ impl MemoryBackend for DramSystem {
 const ROW_CLOSED: usize = usize::MAX;
 
 struct FastChannel {
-    dimm: Dimm,
+    /// DIMM slots on this channel's bus; slot 0 is the DSA-bearing
+    /// DIMM (same convention as the accurate controller).
+    dimms: Vec<Dimm>,
     /// Cycle at which the channel's FIFO service queue drains; the next
     /// access starts at `max(now, free_at)`.
     free_at: Cycle,
@@ -292,8 +294,12 @@ struct FastChannel {
     /// per-access service times — the invariant the queue-model property
     /// tests pin.
     busy_cycles: u64,
-    /// Shadow open row per `[rank][bank_index]` (`ROW_CLOSED` = none):
-    /// used only to replay PRE/ACT to the buffer device at zero cost.
+    /// CAS commands on this channel issued from a foreign socket
+    /// (crossed the inter-socket link).
+    remote_accesses: u64,
+    /// Shadow open row per `[rank][bank_index]` (`ROW_CLOSED` = none),
+    /// the rank axis spanning every DIMM slot: used only to replay
+    /// PRE/ACT to the buffer device at zero cost.
     open_rows: Vec<Vec<usize>>,
 }
 
@@ -329,6 +335,8 @@ pub struct FastDramSystem {
     rd_service: u64,
     wr_service: u64,
     page_service: u64,
+    interconnect_penalty: u64,
+    home_socket: usize,
 }
 
 impl std::fmt::Debug for FastDramSystem {
@@ -348,10 +356,13 @@ impl FastDramSystem {
         let t = config.timing;
         let channels = (0..topo.channels)
             .map(|_| FastChannel {
-                dimm: Dimm::passthrough(),
+                dimms: (0..topo.dimms_per_channel)
+                    .map(|_| Dimm::passthrough())
+                    .collect(),
                 free_at: Cycle::ZERO,
                 busy_cycles: 0,
-                open_rows: vec![vec![ROW_CLOSED; topo.banks_per_rank()]; topo.ranks],
+                remote_accesses: 0,
+                open_rows: vec![vec![ROW_CLOSED; topo.banks_per_rank()]; topo.ranks_per_channel()],
             })
             .collect();
         FastDramSystem {
@@ -369,6 +380,8 @@ impl FastDramSystem {
             rd_service: t.t_cl + t.t_burst,
             wr_service: t.t_cwl + t.t_burst,
             page_service: t.t_rcd + t.t_cl + 64 * t.t_burst,
+            interconnect_penalty: config.interconnect_penalty_cycles,
+            home_socket: config.home_socket,
         }
     }
 
@@ -403,6 +416,7 @@ impl FastDramSystem {
     fn shadow_open_row(
         stats: &mut DramStats,
         ch: &mut FastChannel,
+        slot: usize,
         at: Cycle,
         rank: usize,
         bank_index: usize,
@@ -415,11 +429,28 @@ impl FastDramSystem {
         }
         if *open != ROW_CLOSED {
             stats.precharges.inc();
-            ch.dimm.precharge(at, rank, bank_index);
+            ch.dimms[slot].precharge(at, rank, bank_index);
         }
         stats.activates.inc();
-        ch.dimm.activate(at, rank, bank_index, row);
+        ch.dimms[slot].activate(at, rank, bank_index, row);
         *open = row;
+    }
+
+    /// Whether `channel` is owned by a socket other than the home
+    /// socket (accesses cross the inter-socket link).
+    fn is_remote(&self, channel: usize) -> bool {
+        self.mapper.topology().socket_of_channel(channel) != self.home_socket
+    }
+
+    /// Charges the inter-socket hop for an access to `channel`: bumps
+    /// the remote counters and returns the extra completion latency.
+    fn interconnect_charge(&mut self, channel: usize, cas: u64) -> u64 {
+        if !self.is_remote(channel) {
+            return 0;
+        }
+        self.stats.remote_accesses.add(cas);
+        self.channels[channel].remote_accesses += cas;
+        self.interconnect_penalty
     }
 }
 
@@ -429,15 +460,15 @@ impl MemoryBackend for FastDramSystem {
     }
 
     fn install_dimm(&mut self, channel: usize, dimm: Dimm) {
-        self.channels[channel].dimm = dimm;
+        self.channels[channel].dimms[0] = dimm;
     }
 
     fn dimm_mut(&mut self, channel: usize) -> &mut Dimm {
-        &mut self.channels[channel].dimm
+        &mut self.channels[channel].dimms[0]
     }
 
     fn dimms_mut(&mut self) -> Vec<&mut Dimm> {
-        self.channels.iter_mut().map(|c| &mut c.dimm).collect()
+        self.channels.iter_mut().map(|c| &mut c.dimms[0]).collect()
     }
 
     fn mapper(&self) -> &AddressMapper {
@@ -470,6 +501,7 @@ impl MemoryBackend for FastDramSystem {
         self.stats = DramStats::new();
         for ch in &mut self.channels {
             ch.busy_cycles = 0;
+            ch.remote_accesses = 0;
         }
     }
 
@@ -504,10 +536,26 @@ impl MemoryBackend for FastDramSystem {
         scope.set_counter("bytes_transferred", self.stats.bytes_transferred());
         scope.set_counter("trace_records", self.trace.records().len() as u64);
         scope.set_counter("trace_dropped_records", self.trace.dropped_records());
+        scope.set_counter("remote_accesses", self.stats.remote_accesses.value());
         for (i, ch) in self.channels.iter().enumerate() {
-            scope
-                .scope(&format!("channel{i}"))
-                .set_counter("busy_cycles", ch.busy_cycles);
+            let s = scope.scope(&format!("channel{i}"));
+            s.set_counter("busy_cycles", ch.busy_cycles);
+            s.set_counter("remote_accesses", ch.remote_accesses);
+        }
+        // Per-socket rollups, mirroring the accurate controller's NUMA
+        // view so the two tiers export the same scope shape.
+        let topo = *self.mapper.topology();
+        for sock in 0..topo.sockets {
+            let (mut busy, mut remote) = (0u64, 0u64);
+            for (i, ch) in self.channels.iter().enumerate() {
+                if topo.socket_of_channel(i) == sock {
+                    busy += ch.busy_cycles;
+                    remote += ch.remote_accesses;
+                }
+            }
+            let s = scope.scope(&format!("socket{sock}"));
+            s.set_counter("busy_cycles", busy);
+            s.set_counter("remote_accesses", remote);
         }
     }
 
@@ -515,13 +563,23 @@ impl MemoryBackend for FastDramSystem {
         let addr = addr.cacheline();
         let loc = self.mapper.decode(addr);
         let bank_index = loc.bank_index(self.mapper.topology());
+        let slot = self.mapper.topology().dimm_slot_of_rank(loc.rank);
+        let hop = self.interconnect_charge(loc.channel, 1);
         let service = self.rd_service;
         let retry_delay = self.timing.retry_delay;
         let mut attempt_at = self.now;
         for _ in 0..self.max_retries {
             let ch = &mut self.channels[loc.channel];
             let issue = Cycle(attempt_at.raw().max(ch.free_at.raw()));
-            Self::shadow_open_row(&mut self.stats, ch, issue, loc.rank, bank_index, loc.row);
+            Self::shadow_open_row(
+                &mut self.stats,
+                ch,
+                slot,
+                issue,
+                loc.rank,
+                bank_index,
+                loc.row,
+            );
             let done = issue + service;
             ch.free_at = done;
             ch.busy_cycles += service;
@@ -534,8 +592,8 @@ impl MemoryBackend for FastDramSystem {
                 at: issue,
                 tag,
             };
-            match self.channels[loc.channel].dimm.rd_cas(&info) {
-                RdResult::Data(data) => return (data, done.saturating_since(self.now)),
+            match self.channels[loc.channel].dimms[slot].rd_cas(&info) {
+                RdResult::Data(data) => return (data, done.saturating_since(self.now) + hop),
                 RdResult::Retry => {
                     // ALERT_N: same retry protocol as the accurate
                     // controller — the buffer device depends on it.
@@ -551,10 +609,20 @@ impl MemoryBackend for FastDramSystem {
         let addr = addr.cacheline();
         let loc = self.mapper.decode(addr);
         let bank_index = loc.bank_index(self.mapper.topology());
+        let slot = self.mapper.topology().dimm_slot_of_rank(loc.rank);
+        let hop = self.interconnect_charge(loc.channel, 1);
         let service = self.wr_service;
         let ch = &mut self.channels[loc.channel];
         let issue = Cycle(self.now.raw().max(ch.free_at.raw()));
-        Self::shadow_open_row(&mut self.stats, ch, issue, loc.rank, bank_index, loc.row);
+        Self::shadow_open_row(
+            &mut self.stats,
+            ch,
+            slot,
+            issue,
+            loc.rank,
+            bank_index,
+            loc.row,
+        );
         let done = issue + service;
         ch.free_at = done;
         ch.busy_cycles += service;
@@ -567,8 +635,8 @@ impl MemoryBackend for FastDramSystem {
             at: issue,
             tag,
         };
-        self.channels[loc.channel].dimm.wr_cas(&info, data);
-        done
+        self.channels[loc.channel].dimms[slot].wr_cas(&info, data);
+        done + hop
     }
 
     fn read_page_tagged(&mut self, base: PhysAddr, tag: u64) -> Option<(Box<[[u8; 64]; 64]>, u64)> {
@@ -580,18 +648,32 @@ impl MemoryBackend for FastDramSystem {
         if locs.iter().any(|l| l.channel != channel) {
             return None; // page striped across channels: per-line path
         }
-        if !self.channels[channel].dimm.page_read_supported(base) {
+        let topo = *self.mapper.topology();
+        let slot = topo.dimm_slot_of_rank(locs[0].rank);
+        if locs.iter().any(|l| topo.dimm_slot_of_rank(l.rank) != slot) {
+            return None; // page striped across DIMM slots: per-line path
+        }
+        if !self.channels[channel].dimms[slot].page_read_supported(base) {
             return None;
         }
+        let hop = self.interconnect_charge(channel, LINES as u64);
         let service = self.page_service;
         let t_burst = self.timing.t_burst;
         let ch = &mut self.channels[channel];
         let issue = Cycle(self.now.raw().max(ch.free_at.raw()));
         let mut coords = [(0usize, 0usize, 0usize, 0usize); LINES];
         for (i, loc) in locs.iter().enumerate() {
-            let bank_index = loc.bank_index(self.mapper.topology());
+            let bank_index = loc.bank_index(&topo);
             coords[i] = (loc.rank, bank_index, loc.row, loc.col);
-            Self::shadow_open_row(&mut self.stats, ch, issue, loc.rank, bank_index, loc.row);
+            Self::shadow_open_row(
+                &mut self.stats,
+                ch,
+                slot,
+                issue,
+                loc.rank,
+                bank_index,
+                loc.row,
+            );
         }
         let done = issue + service;
         ch.free_at = done;
@@ -607,10 +689,8 @@ impl MemoryBackend for FastDramSystem {
                 );
             }
         }
-        let data = self.channels[channel]
-            .dimm
-            .rd_page(base, issue, t_burst, &coords);
-        Some((data, done.saturating_since(self.now)))
+        let data = self.channels[channel].dimms[slot].rd_page(base, issue, t_burst, &coords);
+        Some((data, done.saturating_since(self.now) + hop))
     }
 }
 
@@ -720,6 +800,52 @@ mod tests {
         assert_eq!(s.read64(PhysAddr(64)).0, [2u8; 64]);
         assert!(s.channel_busy_cycles(0) > 0);
         assert!(s.channel_busy_cycles(1) > 0);
+    }
+
+    #[test]
+    fn fast_remote_socket_access_pays_interconnect_penalty() {
+        let topo = DramTopology {
+            channels: 2,
+            sockets: 2,
+            ..DramTopology::default()
+        };
+        let mut s = FastDramSystem::new(MemorySystemConfig {
+            topology: topo,
+            interconnect_penalty_cycles: 300,
+            home_socket: 0,
+            ..MemorySystemConfig::default()
+        });
+        let (_, local) = s.read64(PhysAddr(0)); // channel 0, socket 0
+        let (_, remote) = s.read64(PhysAddr(64)); // channel 1, socket 1
+        assert_eq!(local, s.read_service_cycles());
+        assert_eq!(remote, s.read_service_cycles() + 300);
+        assert_eq!(s.stats().remote_accesses.value(), 1);
+    }
+
+    #[test]
+    fn fast_multi_dimm_slots_round_trip() {
+        let topo = DramTopology {
+            dimms_per_channel: 2,
+            ..DramTopology::default()
+        };
+        let mapper = AddressMapper::new(topo);
+        let mut s = FastDramSystem::new(MemorySystemConfig {
+            topology: topo,
+            ..MemorySystemConfig::default()
+        });
+        let mut per_slot = [None, None];
+        for line in 0..1 << 16 {
+            let a = PhysAddr(line * 64);
+            let slot = topo.dimm_slot_of_rank(mapper.decode(a).rank);
+            if per_slot[slot].is_none() {
+                per_slot[slot] = Some(a);
+            }
+        }
+        let (a0, a1) = (per_slot[0].unwrap(), per_slot[1].unwrap());
+        s.write64(a0, &[0x33u8; 64]);
+        s.write64(a1, &[0x44u8; 64]);
+        assert_eq!(s.read64(a0).0, [0x33u8; 64]);
+        assert_eq!(s.read64(a1).0, [0x44u8; 64]);
     }
 
     #[test]

@@ -29,11 +29,17 @@ enum BusDir {
 }
 
 struct Channel {
-    dimm: Dimm,
-    banks: Vec<Vec<Bank>>, // [rank][bank_index]
+    /// DIMM slots on this channel's bus; slot 0 is the DSA-bearing
+    /// DIMM, the rest are plain capacity DIMMs. The decoded rank field
+    /// spans all slots (`rank / ranks` selects the slot).
+    dimms: Vec<Dimm>,
+    banks: Vec<Vec<Bank>>, // [rank within channel, spanning slots][bank_index]
     bus_free: Cycle,
     bus_dir: BusDir,
     busy_cycles: u64,
+    /// CAS commands on this channel issued from a foreign socket
+    /// (crossed the inter-socket link).
+    remote_accesses: u64,
     /// Next scheduled all-bank refresh (tREFI cadence).
     next_refresh: Cycle,
 }
@@ -47,6 +53,15 @@ pub struct MemorySystemConfig {
     pub timing: Timing,
     /// Whether to collect a rdCAS/wrCAS trace (Fig. 9).
     pub trace: bool,
+    /// Extra completion latency (command-clock cycles) charged on every
+    /// CAS that targets a channel owned by a socket other than
+    /// [`MemorySystemConfig::home_socket`] — the inter-socket link hop.
+    /// The penalty rides on the request path, not the DDR bus, so bank
+    /// and bus state are unaffected.
+    pub interconnect_penalty_cycles: u64,
+    /// The socket the driving host runs on; accesses to channels of
+    /// other sockets are remote.
+    pub home_socket: usize,
 }
 
 /// Aggregate DRAM statistics.
@@ -66,6 +81,9 @@ pub struct DramStats {
     pub retries: Counter,
     /// All-bank refresh commands issued (tREFI cadence).
     pub refreshes: Counter,
+    /// CAS commands that crossed the inter-socket link (the target
+    /// channel belongs to a socket other than the home socket).
+    pub remote_accesses: Counter,
 }
 
 impl DramStats {
@@ -78,6 +96,7 @@ impl DramStats {
             row_hits: Counter::new("dram.row_hits"),
             retries: Counter::new("dram.retries"),
             refreshes: Counter::new("dram.refresh"),
+            remote_accesses: Counter::new("dram.remote"),
         }
     }
 
@@ -107,6 +126,8 @@ pub struct DramSystem {
     stats: DramStats,
     trace: TraceSink,
     max_retries: usize,
+    interconnect_penalty: u64,
+    home_socket: usize,
 }
 
 impl std::fmt::Debug for DramSystem {
@@ -125,13 +146,16 @@ impl DramSystem {
         let mapper = AddressMapper::new(topo);
         let channels = (0..topo.channels)
             .map(|_| Channel {
-                dimm: Dimm::passthrough(),
-                banks: (0..topo.ranks)
+                dimms: (0..topo.dimms_per_channel)
+                    .map(|_| Dimm::passthrough())
+                    .collect(),
+                banks: (0..topo.ranks_per_channel())
                     .map(|_| vec![Bank::default(); topo.banks_per_rank()])
                     .collect(),
                 bus_free: Cycle::ZERO,
                 bus_dir: BusDir::Idle,
                 busy_cycles: 0,
+                remote_accesses: 0,
                 next_refresh: Cycle(config.timing.t_refi),
             })
             .collect();
@@ -147,29 +171,53 @@ impl DramSystem {
                 TraceSink::disabled()
             },
             max_retries: 64,
+            interconnect_penalty: config.interconnect_penalty_cycles,
+            home_socket: config.home_socket,
         }
     }
 
-    /// Replaces the DIMM on `channel` with one using the given buffer
-    /// device — how SmartDIMM is installed.
+    /// Replaces the slot-0 DIMM on `channel` with one using the given
+    /// buffer device — how SmartDIMM is installed. Slot 0 is by
+    /// convention the only DSA-bearing DIMM of a channel; the remaining
+    /// slots stay pass-through capacity DIMMs.
     ///
     /// # Panics
     ///
     /// Panics if `channel` is out of range.
     pub fn install_dimm(&mut self, channel: usize, dimm: Dimm) {
-        self.channels[channel].dimm = dimm;
+        self.channels[channel].dimms[0] = dimm;
     }
 
-    /// Mutable access to the DIMM on `channel` (for buffer-device state
-    /// inspection via [`crate::BufferDevice::as_any_mut`]).
+    /// Mutable access to the slot-0 (DSA-bearing) DIMM on `channel`
+    /// (for buffer-device state inspection via
+    /// [`crate::BufferDevice::as_any_mut`]).
     pub fn dimm_mut(&mut self, channel: usize) -> &mut Dimm {
-        &mut self.channels[channel].dimm
+        &mut self.channels[channel].dimms[0]
     }
 
-    /// Disjoint mutable access to every channel's DIMM, in channel
-    /// order (the borrow split behind the parallel shard drain).
+    /// Disjoint mutable access to every channel's slot-0 (DSA-bearing)
+    /// DIMM, in channel order (the borrow split behind the parallel
+    /// shard drain — one shard per channel regardless of how many
+    /// capacity DIMMs share the bus).
     pub fn dimms_mut(&mut self) -> Vec<&mut Dimm> {
-        self.channels.iter_mut().map(|c| &mut c.dimm).collect()
+        self.channels.iter_mut().map(|c| &mut c.dimms[0]).collect()
+    }
+
+    /// Whether `channel` is owned by a socket other than the home
+    /// socket (accesses cross the inter-socket link).
+    fn is_remote(&self, channel: usize) -> bool {
+        self.mapper.topology().socket_of_channel(channel) != self.home_socket
+    }
+
+    /// Charges the inter-socket hop for an access to `channel`: bumps
+    /// the remote counters and returns the extra completion latency.
+    fn interconnect_charge(&mut self, channel: usize, cas: u64) -> u64 {
+        if !self.is_remote(channel) {
+            return 0;
+        }
+        self.stats.remote_accesses.add(cas);
+        self.channels[channel].remote_accesses += cas;
+        self.interconnect_penalty
     }
 
     /// The address mapper in use.
@@ -209,6 +257,7 @@ impl DramSystem {
         self.stats = DramStats::new();
         for ch in &mut self.channels {
             ch.busy_cycles = 0;
+            ch.remote_accesses = 0;
         }
     }
 
@@ -251,10 +300,27 @@ impl DramSystem {
         scope.set_counter("bytes_transferred", self.stats.bytes_transferred());
         scope.set_counter("trace_records", self.trace.records().len() as u64);
         scope.set_counter("trace_dropped_records", self.trace.dropped_records());
+        scope.set_counter("remote_accesses", self.stats.remote_accesses.value());
         for (i, ch) in self.channels.iter().enumerate() {
-            scope
-                .scope(&format!("channel{i}"))
-                .set_counter("busy_cycles", ch.busy_cycles);
+            let s = scope.scope(&format!("channel{i}"));
+            s.set_counter("busy_cycles", ch.busy_cycles);
+            s.set_counter("remote_accesses", ch.remote_accesses);
+        }
+        // Per-socket rollups: the NUMA view of the same counters, so a
+        // report shows where the traffic landed and how much of it
+        // crossed the link.
+        let topo = *self.mapper.topology();
+        for sock in 0..topo.sockets {
+            let (mut busy, mut remote) = (0u64, 0u64);
+            for (i, ch) in self.channels.iter().enumerate() {
+                if topo.socket_of_channel(i) == sock {
+                    busy += ch.busy_cycles;
+                    remote += ch.remote_accesses;
+                }
+            }
+            let s = scope.scope(&format!("socket{sock}"));
+            s.set_counter("busy_cycles", busy);
+            s.set_counter("remote_accesses", remote);
         }
     }
 
@@ -300,6 +366,8 @@ impl DramSystem {
         let addr = addr.cacheline();
         let loc = self.mapper.decode(addr);
         let bank_index = loc.bank_index(self.mapper.topology());
+        let slot = self.mapper.topology().dimm_slot_of_rank(loc.rank);
+        let hop = self.interconnect_charge(loc.channel, 1);
         let t = self.timing;
         let mut attempt_at = self.refresh_gate(loc.channel, self.now);
         for _ in 0..self.max_retries {
@@ -310,14 +378,11 @@ impl DramSystem {
             };
             if precharged {
                 self.stats.precharges.inc();
-                self.channels[loc.channel]
-                    .dimm
-                    .precharge(cas_ready, loc.rank, bank_index);
+                self.channels[loc.channel].dimms[slot].precharge(cas_ready, loc.rank, bank_index);
             }
             if activated {
                 self.stats.activates.inc();
-                self.channels[loc.channel]
-                    .dimm
+                self.channels[loc.channel].dimms[slot]
                     .activate(cas_ready, loc.rank, bank_index, loc.row);
             } else {
                 self.stats.row_hits.inc();
@@ -343,10 +408,10 @@ impl DramSystem {
                 at: issue,
                 tag,
             };
-            match self.channels[loc.channel].dimm.rd_cas(&info) {
+            match self.channels[loc.channel].dimms[slot].rd_cas(&info) {
                 RdResult::Data(data) => {
                     let done = data_at + t.t_burst;
-                    return (data, done.saturating_since(self.now));
+                    return (data, done.saturating_since(self.now) + hop);
                 }
                 RdResult::Retry => {
                     // ALERT_N: retry after the standard delay.
@@ -369,6 +434,8 @@ impl DramSystem {
         let addr = addr.cacheline();
         let loc = self.mapper.decode(addr);
         let bank_index = loc.bank_index(self.mapper.topology());
+        let slot = self.mapper.topology().dimm_slot_of_rank(loc.rank);
+        let hop = self.interconnect_charge(loc.channel, 1);
         let t = self.timing;
         let gated = self.refresh_gate(loc.channel, self.now);
         let (cas_ready, activated, precharged) = {
@@ -377,14 +444,11 @@ impl DramSystem {
         };
         if precharged {
             self.stats.precharges.inc();
-            self.channels[loc.channel]
-                .dimm
-                .precharge(cas_ready, loc.rank, bank_index);
+            self.channels[loc.channel].dimms[slot].precharge(cas_ready, loc.rank, bank_index);
         }
         if activated {
             self.stats.activates.inc();
-            self.channels[loc.channel]
-                .dimm
+            self.channels[loc.channel].dimms[slot]
                 .activate(cas_ready, loc.rank, bank_index, loc.row);
         } else {
             self.stats.row_hits.inc();
@@ -409,8 +473,8 @@ impl DramSystem {
             at: issue,
             tag,
         };
-        self.channels[loc.channel].dimm.wr_cas(&info, data);
-        data_at + t.t_burst
+        self.channels[loc.channel].dimms[slot].wr_cas(&info, data);
+        data_at + t.t_burst + hop
     }
 
     /// Batched whole-page read: all 64 cachelines of the 4 KB page
@@ -448,7 +512,12 @@ impl DramSystem {
         if locs.iter().any(|l| l.channel != channel) {
             return None; // page striped across channels: per-line path
         }
-        if !self.channels[channel].dimm.page_read_supported(base) {
+        let topo = *self.mapper.topology();
+        let slot = topo.dimm_slot_of_rank(locs[0].rank);
+        if locs.iter().any(|l| topo.dimm_slot_of_rank(l.rank) != slot) {
+            return None; // page striped across DIMM slots: per-line path
+        }
+        if !self.channels[channel].dimms[slot].page_read_supported(base) {
             return None;
         }
         let t = self.timing;
@@ -474,14 +543,11 @@ impl DramSystem {
             };
             if precharged {
                 self.stats.precharges.inc();
-                self.channels[channel]
-                    .dimm
-                    .precharge(cas_ready, loc.rank, bank_index);
+                self.channels[channel].dimms[slot].precharge(cas_ready, loc.rank, bank_index);
             }
             if activated {
                 self.stats.activates.inc();
-                self.channels[channel]
-                    .dimm
+                self.channels[channel].dimms[slot]
                     .activate(cas_ready, loc.rank, bank_index, loc.row);
             } else {
                 self.stats.row_hits.inc();
@@ -516,10 +582,9 @@ impl DramSystem {
                 );
             }
         }
-        let data = self.channels[channel]
-            .dimm
-            .rd_page(base, issue, t.t_burst, &coords);
-        Some((data, done.saturating_since(self.now)))
+        let hop = self.interconnect_charge(channel, LINES as u64);
+        let data = self.channels[channel].dimms[slot].rd_page(base, issue, t.t_burst, &coords);
+        Some((data, done.saturating_since(self.now) + hop))
     }
 
     /// Functional convenience: reads a byte range spanning cachelines
@@ -780,5 +845,89 @@ mod tests {
         assert_eq!(s.read64(PhysAddr(64)).0, [2u8; 64]);
         assert!(s.channel_busy_cycles(0) > 0);
         assert!(s.channel_busy_cycles(1) > 0);
+    }
+
+    #[test]
+    fn multi_dimm_slots_round_trip() {
+        let topo = DramTopology {
+            dimms_per_channel: 2,
+            ..DramTopology::default()
+        };
+        let mapper = AddressMapper::new(topo);
+        let mut s = DramSystem::new(MemorySystemConfig {
+            topology: topo,
+            ..MemorySystemConfig::default()
+        });
+        // Find one address on each DIMM slot and round-trip both.
+        let mut per_slot = [None, None];
+        for line in 0..1 << 16 {
+            let a = PhysAddr(line * 64);
+            let slot = topo.dimm_slot_of_rank(mapper.decode(a).rank);
+            if per_slot[slot].is_none() {
+                per_slot[slot] = Some(a);
+            }
+        }
+        let (a0, a1) = (per_slot[0].unwrap(), per_slot[1].unwrap());
+        s.write64(a0, &[0x11u8; 64]);
+        s.write64(a1, &[0x22u8; 64]);
+        assert_eq!(s.read64(a0).0, [0x11u8; 64]);
+        assert_eq!(s.read64(a1).0, [0x22u8; 64]);
+    }
+
+    #[test]
+    fn remote_socket_access_pays_interconnect_penalty() {
+        let topo = DramTopology {
+            channels: 2,
+            sockets: 2,
+            ..DramTopology::default()
+        };
+        let mk = |penalty| {
+            DramSystem::new(MemorySystemConfig {
+                topology: topo,
+                interconnect_penalty_cycles: penalty,
+                home_socket: 0,
+                ..MemorySystemConfig::default()
+            })
+        };
+        let mut free = mk(0);
+        let mut charged = mk(500);
+        // Channel 0 is local (socket 0), channel 1 remote (socket 1).
+        let local = PhysAddr(0);
+        let remote = PhysAddr(64);
+        let (_, l_free) = free.read64(local);
+        let (_, r_free) = free.read64(remote);
+        let (_, l_charged) = charged.read64(local);
+        let (_, r_charged) = charged.read64(remote);
+        assert_eq!(l_free, l_charged, "local access unaffected");
+        assert_eq!(r_charged, r_free + 500, "remote access pays the hop");
+        assert_eq!(charged.stats().remote_accesses.value(), 1);
+        // The remote counter tallies even when the penalty is zero.
+        assert_eq!(free.stats().remote_accesses.value(), 1);
+    }
+
+    #[test]
+    fn socket_scopes_roll_up_channel_counters() {
+        let topo = DramTopology {
+            channels: 2,
+            sockets: 2,
+            ..DramTopology::default()
+        };
+        let mut s = DramSystem::new(MemorySystemConfig {
+            topology: topo,
+            interconnect_penalty_cycles: 100,
+            ..MemorySystemConfig::default()
+        });
+        let _ = s.read64(PhysAddr(0));
+        let _ = s.read64(PhysAddr(64));
+        let mut scope = simkit::telemetry::Scope::default();
+        s.export_telemetry(&mut scope);
+        let snap = {
+            let mut reg = simkit::telemetry::Registry::new();
+            *reg.scope("dram") = scope;
+            reg.snapshot()
+        };
+        assert!(snap.contains("\"socket0\""));
+        assert!(snap.contains("\"socket1\""));
+        assert!(snap.contains("\"remote_accesses\""));
     }
 }

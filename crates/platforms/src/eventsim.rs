@@ -125,6 +125,15 @@ pub struct EventWorkloadConfig {
     pub channels: usize,
     /// Interleave granularity in cachelines.
     pub channel_interleave_lines: usize,
+    /// DIMMs per channel; only slot 0 carries the buffer device, the
+    /// rest are plain capacity DIMMs (scale-out topology).
+    pub dimms_per_channel: usize,
+    /// CPU sockets; `channels` must split evenly across them.
+    pub sockets: usize,
+    /// Extra cycles a CAS to a remote-socket channel pays.
+    pub interconnect_penalty_cycles: u64,
+    /// Offload placement policy (see [`smartdimm::sched`]).
+    pub placement: smartdimm::PlacementPolicy,
     /// Memory-backend fidelity tier. Defaults to the tier-1 fast queue
     /// model: the event harness exists for high-concurrency sweeps where
     /// cycle-accurate DRAM would dominate wall-clock. Cycle-accurate runs
@@ -177,6 +186,10 @@ impl Default for EventWorkloadConfig {
             fault_seed: None,
             channels: 1,
             channel_interleave_lines: 1,
+            dimms_per_channel: 1,
+            sockets: 1,
+            interconnect_penalty_cycles: 0,
+            placement: smartdimm::PlacementPolicy::Static,
             backend: BackendKind::FastQueue,
             threads: 0,
             think_time_ns: 50_000,
@@ -211,6 +224,10 @@ pub enum EventConfigError {
     BadObjectSizes(usize, usize),
     /// `channels == 0`.
     ZeroChannels,
+    /// `dimms_per_channel == 0`.
+    ZeroDimms,
+    /// `sockets` is zero or does not divide `channels` evenly.
+    BadSockets(usize, usize),
     /// `churn_permille` or `slow_client_permille` above 1000.
     BadPermille(u64),
     /// `inflight_window == 0`.
@@ -228,6 +245,10 @@ impl std::fmt::Display for EventConfigError {
                 write!(f, "object sizes {lo}..={hi} outside 1..=65536 or empty")
             }
             EventConfigError::ZeroChannels => write!(f, "at least one memory channel"),
+            EventConfigError::ZeroDimms => write!(f, "at least one DIMM per channel"),
+            EventConfigError::BadSockets(ch, so) => {
+                write!(f, "{ch} channels cannot split evenly across {so} sockets")
+            }
             EventConfigError::BadPermille(v) => write!(f, "permille {v} above 1000"),
             EventConfigError::ZeroWindow => write!(f, "inflight_window must be >= 1"),
         }
@@ -262,6 +283,12 @@ impl EventWorkloadConfig {
         }
         if self.channels == 0 {
             return Err(EventConfigError::ZeroChannels);
+        }
+        if self.dimms_per_channel == 0 {
+            return Err(EventConfigError::ZeroDimms);
+        }
+        if self.sockets == 0 || !self.channels.is_multiple_of(self.sockets) {
+            return Err(EventConfigError::BadSockets(self.channels, self.sockets));
         }
         for p in [self.churn_permille, self.slow_client_permille] {
             if p > 1000 {
@@ -358,6 +385,15 @@ fn permille_coin(seed: u64, conn: usize, req: u64, salt: u64, permille: u64) -> 
 }
 
 /// Zipfian popularity CDF over `objects` ranks (`weight ∝ 1/rank^s`).
+///
+/// The terminal bucket is pinned to exactly `1.0` so every popularity
+/// draw in `[0, 1)` lands in-catalog. Normalizing by the accumulated
+/// total usually gets there on its own (IEEE `x / x == 1.0`), but an
+/// extreme exponent can overflow the accumulator to `+inf`, turning
+/// earlier quotients into `0.0` and later ones into NaN — and a NaN
+/// bucket breaks `partition_point`'s sorted-prefix contract, aliasing
+/// draws onto the wrong object. Non-finite quotients are therefore
+/// sanitized to `0.0` and the pinned terminal bucket absorbs the tail.
 fn zipf_cdf(objects: usize, s: f64) -> Vec<f64> {
     let mut cdf = Vec::with_capacity(objects);
     let mut acc = 0.0f64;
@@ -368,6 +404,12 @@ fn zipf_cdf(objects: usize, s: f64) -> Vec<f64> {
     let total = acc;
     for c in &mut cdf {
         *c /= total;
+        if !c.is_finite() {
+            *c = 0.0;
+        }
+    }
+    if let Some(last) = cdf.last_mut() {
+        *last = 1.0;
     }
     cdf
 }
@@ -442,6 +484,10 @@ fn run_event_server_instrumented(
     host_cfg.mem.backend = cfg.backend;
     host_cfg.mem.dram.topology.channels = cfg.channels;
     host_cfg.mem.dram.topology.channel_interleave_lines = cfg.channel_interleave_lines.max(1);
+    host_cfg.mem.dram.topology.dimms_per_channel = cfg.dimms_per_channel.max(1);
+    host_cfg.mem.dram.topology.sockets = cfg.sockets.max(1);
+    host_cfg.mem.dram.interconnect_penalty_cycles = cfg.interconnect_penalty_cycles;
+    host_cfg.sched.policy = cfg.placement;
     host_cfg.threads = cfg.threads;
     if let Some(pages) = cfg.scratchpad_pages {
         host_cfg.dimm.scratchpad_pages = pages;
@@ -467,6 +513,10 @@ fn run_event_server_instrumented(
         fault_seed: cfg.fault_seed,
         channels: cfg.channels,
         channel_interleave_lines: cfg.channel_interleave_lines,
+        dimms_per_channel: cfg.dimms_per_channel,
+        sockets: cfg.sockets,
+        interconnect_penalty_cycles: cfg.interconnect_penalty_cycles,
+        placement: cfg.placement,
         backend: cfg.backend,
         threads: cfg.threads,
     };
@@ -747,6 +797,54 @@ mod tests {
             ..EventWorkloadConfig::default()
         };
         assert_eq!(bad.validate(), Err(EventConfigError::BadPermille(1001)));
+    }
+
+    #[test]
+    fn zipf_cdf_terminal_bucket_is_pinned() {
+        // The normalized CDF must cover the whole unit interval for any
+        // exponent: a draw at `1.0 - ε` on a small catalog must land
+        // in-catalog. Extreme exponents overflow the accumulator to
+        // `+inf` — pre-fix, the quotients came out `0.0`/NaN, and a NaN
+        // bucket breaks `partition_point`'s sorted-prefix contract.
+        for s in [0.0, 1.0, 50.0, 700.0, 5000.0, -700.0, -5000.0] {
+            let cdf = zipf_cdf(4, s);
+            assert!(
+                cdf.iter().all(|c| c.is_finite()),
+                "s={s}: non-finite bucket in {cdf:?}"
+            );
+            assert!(
+                cdf.windows(2).all(|w| w[0] <= w[1]),
+                "s={s}: CDF not monotone: {cdf:?}"
+            );
+            assert_eq!(*cdf.last().unwrap(), 1.0, "s={s}: terminal bucket");
+            let u = 1.0 - f64::EPSILON;
+            let idx = cdf.partition_point(|&c| c < u);
+            assert!(idx < 4, "s={s}: draw at 1-eps indexed past the catalog");
+        }
+    }
+
+    #[test]
+    fn zipf_negative_exponent_weights_the_tail() {
+        // weight ∝ rank^|s| for negative s: the heaviest object is the
+        // *last* rank. Pre-fix, the overflowed CDF aliased a mid-range
+        // draw onto rank 1 instead of the dominant terminal rank.
+        let cdf = zipf_cdf(4, -5000.0);
+        assert_eq!(cdf.partition_point(|&c| c < 0.5), 3);
+    }
+
+    #[test]
+    fn event_validate_catches_bad_topology() {
+        let bad = EventWorkloadConfig {
+            dimms_per_channel: 0,
+            ..EventWorkloadConfig::default()
+        };
+        assert_eq!(bad.validate(), Err(EventConfigError::ZeroDimms));
+        let bad = EventWorkloadConfig {
+            channels: 2,
+            sockets: 3,
+            ..EventWorkloadConfig::default()
+        };
+        assert_eq!(bad.validate(), Err(EventConfigError::BadSockets(2, 3)));
     }
 
     #[test]

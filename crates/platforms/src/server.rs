@@ -97,6 +97,17 @@ pub struct WorkloadConfig {
     /// Consecutive cachelines per channel before the mapping switches
     /// (§V-D interleave granularity; 64 = page-granular/coarse).
     pub channel_interleave_lines: usize,
+    /// DIMMs per channel (scale-out topology). Only slot 0 of each
+    /// channel carries the buffer device; sources landing on the
+    /// capacity DIMMs are re-homed by the offload scheduler.
+    pub dimms_per_channel: usize,
+    /// CPU sockets; `channels` must split evenly across them. Channels
+    /// on non-home sockets pay the interconnect penalty per CAS.
+    pub sockets: usize,
+    /// Extra cycles a CAS to a remote-socket channel pays.
+    pub interconnect_penalty_cycles: u64,
+    /// Offload placement policy (see [`smartdimm::sched`]).
+    pub placement: smartdimm::PlacementPolicy,
     /// Memory-backend fidelity tier (default cycle-accurate). The fast
     /// queue model is functionally identical by contract — the
     /// differential harness pins it — and trades timing fidelity for
@@ -127,6 +138,10 @@ pub enum WorkloadConfigError {
     BadMessageSize(usize),
     /// `channels == 0`: at least one memory channel is required.
     ZeroChannels,
+    /// `dimms_per_channel == 0`.
+    ZeroDimms,
+    /// `sockets` is zero or does not divide `channels` evenly.
+    BadSockets(usize, usize),
 }
 
 impl std::fmt::Display for WorkloadConfigError {
@@ -151,6 +166,10 @@ impl std::fmt::Display for WorkloadConfigError {
                 write!(f, "message_bytes {n} outside 1..=65536")
             }
             WorkloadConfigError::ZeroChannels => write!(f, "at least one memory channel"),
+            WorkloadConfigError::ZeroDimms => write!(f, "at least one DIMM per channel"),
+            WorkloadConfigError::BadSockets(ch, so) => {
+                write!(f, "{ch} channels cannot split evenly across {so} sockets")
+            }
         }
     }
 }
@@ -181,6 +200,12 @@ impl WorkloadConfig {
         if self.channels == 0 {
             return Err(WorkloadConfigError::ZeroChannels);
         }
+        if self.dimms_per_channel == 0 {
+            return Err(WorkloadConfigError::ZeroDimms);
+        }
+        if self.sockets == 0 || !self.channels.is_multiple_of(self.sockets) {
+            return Err(WorkloadConfigError::BadSockets(self.channels, self.sockets));
+        }
         Ok(())
     }
 }
@@ -200,6 +225,10 @@ impl Default for WorkloadConfig {
             fault_seed: None,
             channels: 1,
             channel_interleave_lines: 1,
+            dimms_per_channel: 1,
+            sockets: 1,
+            interconnect_penalty_cycles: 0,
+            placement: smartdimm::PlacementPolicy::Static,
             backend: BackendKind::default(),
             threads: 0,
         }
@@ -742,6 +771,10 @@ fn run_server_instrumented(
     host_cfg.mem.backend = cfg.backend;
     host_cfg.mem.dram.topology.channels = cfg.channels;
     host_cfg.mem.dram.topology.channel_interleave_lines = cfg.channel_interleave_lines.max(1);
+    host_cfg.mem.dram.topology.dimms_per_channel = cfg.dimms_per_channel.max(1);
+    host_cfg.mem.dram.topology.sockets = cfg.sockets.max(1);
+    host_cfg.mem.dram.interconnect_penalty_cycles = cfg.interconnect_penalty_cycles;
+    host_cfg.sched.policy = cfg.placement;
     host_cfg.threads = cfg.threads;
     let mut host = CompCpyHost::new(host_cfg);
     if let Some(fault_seed) = cfg.fault_seed {

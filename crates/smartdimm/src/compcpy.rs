@@ -6,7 +6,7 @@
 //! `freePages` counter with lazy MMIO refresh, Force-Recycle
 //! (Algorithm 1), source flush, page registration and the copy loop.
 
-use dram::{Dimm, PhysAddr};
+use dram::{AddressMapper, Dimm, PhysAddr};
 use memsys::{MemConfig, MemSystem};
 use simkit::par::DetMutex;
 use std::collections::BTreeMap;
@@ -17,6 +17,7 @@ use crate::configmem::{
 };
 use crate::device::{SmartDimmConfig, SmartDimmDevice};
 use crate::dsa::OffloadOp;
+use crate::sched::{self, PlacementPolicy, SchedStats};
 use crate::{LINES_PER_PAGE, PAGE};
 
 /// Errors surfaced by the CompCpy API.
@@ -75,6 +76,9 @@ pub struct HostConfig {
     /// byte-identical simulated state — the count only changes
     /// wall-clock time (see [`simkit::par`]).
     pub threads: usize,
+    /// Offload placement scheduling: policy plus tuning knobs (see
+    /// [`crate::sched`]). The default keeps the static per-line decode.
+    pub sched: sched::SchedConfig,
 }
 
 /// Device-side queueing pressure, sampled at a settle point
@@ -120,6 +124,12 @@ pub struct OffloadHandle {
     pub aad: [u8; 7],
     /// Valid bytes of `aad`.
     pub aad_len: u8,
+    /// The shard that saw every *effective* source line, when one did
+    /// (`None` for an interleaved placement). Recorded at issue time:
+    /// the scheduler may have staged the source away from `sbuf`, so
+    /// the owning channel can no longer be derived from the caller's
+    /// addresses alone.
+    pub home: Option<u16>,
 }
 
 impl OffloadHandle {
@@ -146,6 +156,20 @@ pub struct CompCpyHost {
     /// Offloads routed through a bounce buffer because the caller's
     /// sbuf/dbuf pair interleaved across different channels (§V-D).
     bounced_offloads: u64,
+    /// Device-visible staging ("home") regions for offloads whose
+    /// source touched a DSA-less DIMM slot or that the scheduler
+    /// migrated, pooled by `(target channel or `usize::MAX`, pages)`.
+    home_pool: BTreeMap<(usize, u64), Vec<PhysAddr>>,
+    /// Placement-decision counters (see [`crate::sched::SchedStats`]).
+    sched_stats: SchedStats,
+    /// Scheduler policy and tuning.
+    sched: sched::SchedConfig,
+    /// Address mapper mirroring the memory system's topology, for
+    /// host-side residency checks.
+    mapper: AddressMapper,
+    /// The socket the issuing host lives on; shards on other sockets
+    /// are remote to the scheduler.
+    home_socket: usize,
     /// Software-side counters.
     force_recycles: u64,
     /// Preparation faults (xlat pressure, scratch hogs) armed and applied.
@@ -182,11 +206,15 @@ impl CompCpyHost {
     /// driver state.
     pub fn new(config: HostConfig) -> CompCpyHost {
         let topo = config.mem.dram.topology;
+        let home_socket = config.mem.dram.home_socket;
         let mut mem = MemSystem::new(config.mem);
         for channel in 0..topo.channels {
             let mut dimm_cfg = config.dimm;
             dimm_cfg.topology = topo;
             dimm_cfg.channel = channel;
+            // `install_dimm` places the buffer device in slot 0 of the
+            // channel; the shard must filter registrations to match.
+            dimm_cfg.dimm_slot = 0;
             let device = SmartDimmDevice::new(dimm_cfg);
             mem.dram_mut()
                 .install_dimm(channel, Dimm::new(Box::new(device)));
@@ -202,6 +230,11 @@ impl CompCpyHost {
             alloc_next: 0x0010_0000, // driver pool starts at 1 MB
             bounce_pool: BTreeMap::new(),
             bounced_offloads: 0,
+            home_pool: BTreeMap::new(),
+            sched_stats: SchedStats::default(),
+            sched: config.sched,
+            mapper: AddressMapper::new(topo),
+            home_socket,
             force_recycles: 0,
             injected_faults: 0,
             fault: None,
@@ -304,6 +337,13 @@ impl CompCpyHost {
     /// telemetry snapshot.
     pub fn par_stats(&self) -> simkit::par::ParStats {
         self.par_stats
+    }
+
+    /// Placement-decision counters accumulated so far (see
+    /// [`crate::sched::SchedStats`]). Deterministic: decisions depend
+    /// only on simulated state.
+    pub fn sched_stats(&self) -> SchedStats {
+        self.sched_stats
     }
 
     /// A deterministic snapshot of device-side queueing pressure — the
@@ -413,6 +453,17 @@ impl CompCpyHost {
         scope.set_counter("force_recycles", self.force_recycles);
         scope.set_counter("injected_faults", self.injected_faults);
         scope.set_counter("bounced_offloads", self.bounced_offloads);
+        {
+            // Placement-decision counters (see [`crate::sched`]).
+            // Decisions depend only on simulated state, so these are
+            // snapshot-safe at any thread count.
+            let sch = scope.scope("sched");
+            sch.set_counter("static_placements", self.sched_stats.static_placements);
+            sch.set_counter("rehomed_offloads", self.sched_stats.rehomed_offloads);
+            sch.set_counter("migrated_offloads", self.sched_stats.migrated_offloads);
+            sch.set_counter("remote_placements", self.sched_stats.remote_placements);
+            sch.set_counter("local_placements", self.sched_stats.local_placements);
+        }
         {
             // Deterministic parallel-runtime counters only. Worker and
             // steal counts are scheduler artifacts and live in the
@@ -560,12 +611,25 @@ impl CompCpyHost {
         // `alloc_next` and `sbuf` are both page aligned, so page-sized
         // steps cycle `alloc_next % period` through every page-aligned
         // phase and this terminates within `period / gcd(period, 4096)`
-        // iterations.
-        while self.alloc_next % period != phase {
+        // iterations. With multiple DIMMs per channel the region must
+        // also decode entirely to the DSA-bearing slot: a staged line
+        // on a capacity DIMM would keep the memcpy's raw bytes instead
+        // of the device-substituted output.
+        let addr = loop {
+            while self.alloc_next % period != phase {
+                self.alloc_next += PAGE as u64;
+            }
+            let cand = PhysAddr(self.alloc_next);
+            if self.dsa_resident(cand, (pages as usize) * PAGE) {
+                break cand;
+            }
             self.alloc_next += PAGE as u64;
-        }
-        let addr = PhysAddr(self.alloc_next);
-        self.alloc_next += pages * PAGE as u64;
+            assert!(
+                self.alloc_next <= self.config_base.0,
+                "driver bounce pool collides with MMIO space"
+            );
+        };
+        self.alloc_next = addr.0 + pages * PAGE as u64;
         assert!(
             self.alloc_next <= self.config_base.0,
             "driver bounce pool collides with MMIO space"
@@ -582,6 +646,183 @@ impl CompCpyHost {
             .entry((phase, pages))
             .or_default()
             .push(bounce);
+    }
+
+    /// Whether every covered line of `[base, base+size)` decodes to the
+    /// DSA-bearing DIMM slot of its channel — the condition for the
+    /// buffer devices to see the range's CAS traffic at all. Trivially
+    /// true with one DIMM per channel.
+    fn dsa_resident(&self, base: PhysAddr, size: usize) -> bool {
+        let topo = *self.mapper.topology();
+        if topo.dimms_per_channel == 1 {
+            return true;
+        }
+        (0..size.div_ceil(64) as u64).all(|l| {
+            let loc = self.mapper.decode(PhysAddr(base.0 + l * 64));
+            // `new` installs every buffer device in slot 0.
+            topo.dimm_slot_of_rank(loc.rank) == 0
+        })
+    }
+
+    /// Samples every shard's placement inputs — the same scratchpad and
+    /// translation-table signals [`CompCpyHost::queue_pressure`]
+    /// reports, per channel, plus socket locality. Callers settle the
+    /// shards first (the pressure fields are compute-derived).
+    fn shard_snapshots(&mut self) -> Vec<sched::ShardSnapshot> {
+        let topo = *self.mapper.topology();
+        let home_socket = self.home_socket;
+        (0..self.channels)
+            .map(|ch| {
+                let dev = self.device_on(ch);
+                let cap = dev.config().scratchpad_pages.max(1);
+                let free = dev.free_pages() as f64 / cap as f64;
+                let occ = dev.xlat().occupancy();
+                sched::ShardSnapshot {
+                    channel: ch,
+                    pressure: (1.0 - free).max(occ),
+                    remote: topo.socket_of_channel(ch) != home_socket,
+                }
+            })
+            .collect()
+    }
+
+    /// The score of an offload's current (static) placement: the worst
+    /// [`sched::score`] over the channels its source lines touch.
+    fn placement_score(&self, base: PhysAddr, size: usize, snaps: &[sched::ShardSnapshot]) -> f64 {
+        let mut worst = f64::MIN;
+        for l in 0..size.div_ceil(64) as u64 {
+            let ch = self.line_channel(base.0 + l * 64);
+            worst = worst.max(sched::score(&self.sched, &snaps[ch]));
+        }
+        worst
+    }
+
+    /// Counts the offload as remote or local: remote when any effective
+    /// source line decodes to a channel on a non-home socket.
+    fn note_locality(&mut self, base: PhysAddr, size: usize) {
+        let topo = *self.mapper.topology();
+        let remote = (0..size.div_ceil(64) as u64).any(|l| {
+            topo.socket_of_channel(self.line_channel(base.0 + l * 64)) != self.home_socket
+        });
+        if remote {
+            self.sched_stats.remote_placements += 1;
+        } else {
+            self.sched_stats.local_placements += 1;
+        }
+    }
+
+    /// Chooses the effective source buffer for an offload: `sbuf`
+    /// itself when the static decode already works, or a device-visible
+    /// staging ("home") region the source is copied into first.
+    ///
+    /// Re-homing is *mandatory* when any source line decodes to a
+    /// DSA-less DIMM slot — those CAS never reach a buffer device, so
+    /// the offload would starve. Migration is *optional* and only under
+    /// [`PlacementPolicy::OccupancyLocality`]: a pinnable offload (one
+    /// that fits a single channel's contiguous interleave window) moves
+    /// to the best-scoring shard when that beats its current placement
+    /// by more than [`sched::SchedConfig::migrate_margin`].
+    ///
+    /// The staging copy runs *before* registration, so the devices see
+    /// it as plain (unregistered) write traffic.
+    fn place_source(&mut self, sbuf: PhysAddr, size: usize, class: usize) -> PhysAddr {
+        let resident = self.dsa_resident(sbuf, size);
+        let pinnable = self.channels == 1 || size <= self.interleave_lines * 64;
+        let policy = self.sched.policy;
+        if resident {
+            if policy == PlacementPolicy::OccupancyLocality && pinnable && self.channels > 1 {
+                let snaps = self.shard_snapshots();
+                let best = sched::pick(&self.sched, &snaps);
+                let cur = self.placement_score(sbuf, size, &snaps);
+                if sched::score(&self.sched, &best) + self.sched.migrate_margin < cur {
+                    self.sched_stats.migrated_offloads += 1;
+                    let home = self.acquire_home(sbuf, size, Some(best.channel));
+                    self.mem
+                        .memcpy(home, sbuf, size.div_ceil(64) * 64, class, false);
+                    self.note_locality(home, size);
+                    return home;
+                }
+            }
+            self.sched_stats.static_placements += 1;
+            self.note_locality(sbuf, size);
+            return sbuf;
+        }
+        // Mandatory re-homing: part of the source sits on a capacity
+        // DIMM the DSA cannot see.
+        self.sched_stats.rehomed_offloads += 1;
+        let target = if pinnable {
+            Some(match policy {
+                PlacementPolicy::Static => self.line_channel(sbuf.0),
+                PlacementPolicy::OccupancyLocality => {
+                    let snaps = self.shard_snapshots();
+                    sched::pick(&self.sched, &snaps).channel
+                }
+            })
+        } else {
+            None
+        };
+        let home = self.acquire_home(sbuf, size, target);
+        self.mem
+            .memcpy(home, sbuf, size.div_ceil(64) * 64, class, false);
+        self.note_locality(home, size);
+        home
+    }
+
+    /// A device-visible staging region for a re-homed or migrated
+    /// offload. With `Some(channel)` the region decodes entirely to
+    /// that channel's DSA-bearing DIMM (single-shard placement); with
+    /// `None` it is phase-matched to `sbuf` — preserving the per-line
+    /// channel pattern — and merely slot-resident. Regions are pooled
+    /// and reused per `(target, pages)`.
+    ///
+    /// Single-channel targets require the offload to fit one interleave
+    /// window (`channel_interleave_lines * 64` bytes);
+    /// [`CompCpyHost::place_source`] only requests them for such
+    /// ("pinnable") offloads.
+    fn acquire_home(&mut self, sbuf: PhysAddr, size: usize, target: Option<usize>) -> PhysAddr {
+        let pages = size.div_ceil(PAGE) as u64;
+        let key = (target.unwrap_or(usize::MAX), pages);
+        if let Some(list) = self.home_pool.get_mut(&key) {
+            if let Some(addr) = list.pop() {
+                return addr;
+            }
+        }
+        let period = (self.channels * self.interleave_lines * 64) as u64;
+        let phase = sbuf.0 % period;
+        let addr = loop {
+            if target.is_none() {
+                // Phase-match so every line keeps its channel.
+                while self.alloc_next % period != phase {
+                    self.alloc_next += PAGE as u64;
+                }
+            }
+            let cand = PhysAddr(self.alloc_next);
+            let sole_ok = match target {
+                Some(ch) => self.sole_channel(cand, size) == Some(ch),
+                None => true,
+            };
+            if sole_ok && self.dsa_resident(cand, (pages as usize) * PAGE) {
+                break cand;
+            }
+            self.alloc_next += PAGE as u64;
+            assert!(
+                self.alloc_next <= self.config_base.0,
+                "driver home pool collides with MMIO space"
+            );
+        };
+        self.alloc_next = addr.0 + pages * PAGE as u64;
+        assert!(
+            self.alloc_next <= self.config_base.0,
+            "driver home pool collides with MMIO space"
+        );
+        addr
+    }
+
+    /// Returns a home region to the pool for reuse.
+    fn release_home(&mut self, home: PhysAddr, size: usize) {
+        let pages = size.div_ceil(PAGE) as u64;
+        let key = (self.sole_channel(home, size).unwrap_or(usize::MAX), pages);
+        self.home_pool.entry(key).or_default().push(home);
     }
 
     /// Whether every input byte of `handle` has reached a terminal DSA
@@ -612,11 +853,15 @@ impl CompCpyHost {
     }
 
     /// Reads the result slot of `handle` on the channel that owns it —
-    /// the sole channel of `sbuf` when the placement pins one (flex-mode
-    /// or bounced offloads run entirely on that shard), channel 0
-    /// otherwise.
+    /// the home shard recorded at issue time when the placement pinned
+    /// one (flex-mode, re-homed or migrated offloads run entirely on
+    /// that shard), channel 0 otherwise.
     pub fn read_result(&mut self, handle: &OffloadHandle) -> ResultSlot {
-        let ch = self.sole_channel(handle.sbuf, handle.size).unwrap_or(0);
+        let ch = handle
+            .home
+            .map(|c| c as usize)
+            .or_else(|| self.sole_channel(handle.sbuf, handle.size))
+            .unwrap_or(0);
         self.read_result_on(handle, ch)
     }
 
@@ -628,7 +873,11 @@ impl CompCpyHost {
     /// contribution and `EIV` host-side (§V-D, the step the paper assigns
     /// to the CPU). Returns `None` until every byte has been processed.
     pub fn tag(&mut self, handle: &OffloadHandle) -> Option<[u8; 16]> {
-        if let Some(ch) = self.sole_channel(handle.sbuf, handle.size) {
+        let home = handle
+            .home
+            .map(|c| c as usize)
+            .or_else(|| self.sole_channel(handle.sbuf, handle.size));
+        if let Some(ch) = home {
             // One shard saw every source line (single-channel mode, or a
             // flex/bounced placement): it absorbed the metadata and
             // computed the full tag itself.
@@ -813,23 +1062,32 @@ impl CompCpyHost {
         let id = self.next_id;
         self.next_id += 1;
 
+        // Placement: pick the shard(s) that serve this offload. The
+        // static decode keeps a source wherever its lines map; sources
+        // touching a DSA-less DIMM slot are staged into a
+        // device-visible home region, and the occupancy+locality
+        // policy may migrate pinnable offloads to a better shard.
+        let eff_sbuf = self.place_source(sbuf, size, class);
+
         // §V-D routing: a shard can only serve page pairs whose source
-        // and destination lines decode to its own channel. When the
-        // caller's dbuf sits at a different phase of the interleave
-        // period than sbuf (possible under coarse interleave), stage the
-        // offload into a phase-matched bounce buffer and copy out after
-        // the device completes.
-        let src_sole = self.sole_channel(sbuf, size);
-        let direct = self.channel_maps_match(sbuf, dbuf, size);
+        // and destination lines decode to its own channel and its own
+        // DIMM slot. When the caller's dbuf sits at a different phase
+        // of the interleave period than the effective source (possible
+        // under coarse interleave) or touches a capacity DIMM, stage
+        // the offload into a phase-matched bounce buffer and copy out
+        // after the device completes.
+        let src_sole = self.sole_channel(eff_sbuf, size);
+        let direct = self.channel_maps_match(eff_sbuf, dbuf, size) && self.dsa_resident(dbuf, size);
         let stage_dbuf = if direct {
             dbuf
         } else {
             self.bounced_offloads += 1;
-            self.acquire_bounce(sbuf, size)
+            self.acquire_bounce(eff_sbuf, size)
         };
 
-        // Line 19: flush sbuf to DRAM so the DIMM sees the data.
-        self.mem.flush(sbuf, size);
+        // Line 19: flush the (effective) source to DRAM so the DIMM
+        // sees the data.
+        self.mem.flush(eff_sbuf, size);
 
         // Lines 21-23: registration — context first, then the page pairs,
         // replicated to every channel's SmartDIMM (§V-D). When one shard
@@ -845,7 +1103,7 @@ impl CompCpyHost {
         for p in 0..num_pages {
             let reg = Registration {
                 offload_id: id,
-                src_page_addr: sbuf.0 + (p * PAGE) as u64,
+                src_page_addr: eff_sbuf.0 + (p * PAGE) as u64,
                 dst_page_addr: stage_dbuf.0 + (p * PAGE) as u64,
                 msg_offset: (p * PAGE) as u64,
             };
@@ -855,7 +1113,7 @@ impl CompCpyHost {
         // Lines 24-31: the copy. Ordered mode fences between lines.
         let ordered = ordered || op.requires_ordered();
         self.mem
-            .memcpy(stage_dbuf, sbuf, size.div_ceil(64) * 64, class, ordered);
+            .memcpy(stage_dbuf, eff_sbuf, size.div_ceil(64) * 64, class, ordered);
         // The copy loop enqueued S6 feeds on every covered shard; this
         // is the main parallel section — all channels settle at once.
         self.sync_shards();
@@ -870,17 +1128,29 @@ impl CompCpyHost {
             op,
             aad: aad_buf,
             aad_len: aad.len() as u8,
+            home: src_sole.map(|c| c as u16),
         };
         if !direct {
-            self.finish_bounce(&handle, stage_dbuf, class);
+            self.finish_bounce(&handle, eff_sbuf, stage_dbuf, class);
+        }
+        if eff_sbuf != sbuf {
+            self.release_home(eff_sbuf, size);
         }
         Ok(handle)
     }
 
     /// Completes a bounced offload: settles injected faults, self-
     /// recycles the staged bounce lines (S9), and copies the transformed
-    /// bytes into the caller's real destination buffer.
-    fn finish_bounce(&mut self, handle: &OffloadHandle, bounce: PhysAddr, class: usize) {
+    /// bytes into the caller's real destination buffer. `src` is the
+    /// *effective* source the offload registered — the caller's sbuf or
+    /// the scheduler's home region.
+    fn finish_bounce(
+        &mut self,
+        handle: &OffloadHandle,
+        src: PhysAddr,
+        bounce: PhysAddr,
+        class: usize,
+    ) {
         self.sync_shards(); // staged bounce lines must be visible
         let covered = handle.size.div_ceil(64) * 64;
         if self.fault.is_some() {
@@ -893,11 +1163,10 @@ impl CompCpyHost {
                     break;
                 }
                 self.mem.drain_writebacks();
-                self.mem.flush(handle.sbuf, covered);
+                self.mem.flush(src, covered);
                 for l in (0..covered).step_by(64) {
                     let mut buf = [0u8; 64];
-                    self.mem
-                        .load(PhysAddr(handle.sbuf.0 + l as u64), &mut buf, 0);
+                    self.mem.load(PhysAddr(src.0 + l as u64), &mut buf, 0);
                 }
             }
         }
@@ -954,6 +1223,12 @@ impl CompCpyHost {
         if !op.size_preserving() || self.channels > 1 {
             return Err(CompCpyError::SingleChannelOnly);
         }
+        if !self.dsa_resident(sbuf, size) || !self.dsa_resident(dbuf, size) {
+            // Compute DMA has no copy loop to stage through: the I/O
+            // device's writes land where they land, so both buffers
+            // must already be visible to the DSA-bearing DIMM slot.
+            return Err(CompCpyError::SingleChannelOnly);
+        }
         self.sync_shards();
         self.apply_armed_faults();
         // Reserve scratchpad space exactly as CompCpy does.
@@ -1000,6 +1275,7 @@ impl CompCpyHost {
             op,
             aad: aad_buf,
             aad_len: aad.len() as u8,
+            home: Some(0),
         })
     }
 
@@ -1421,6 +1697,148 @@ mod tests {
             )
             .unwrap();
         assert_eq!(h2.use_buffer(&handle), cpu_out);
+    }
+
+    /// First page-aligned address at or above `from` whose opening line
+    /// decodes to DIMM slot 1 (rank blocks are much larger than a page,
+    /// so the whole page sits on the capacity DIMM).
+    fn slot1_page(topo: &dram::DramTopology, from: u64) -> PhysAddr {
+        let m = AddressMapper::new(*topo);
+        let mut a = from;
+        loop {
+            let loc = m.decode(PhysAddr(a));
+            if topo.dimm_slot_of_rank(loc.rank) == 1 {
+                return PhysAddr(a);
+            }
+            a += PAGE as u64;
+        }
+    }
+
+    #[test]
+    fn multi_dimm_rehomes_capacity_slot_source() {
+        // A source page on the DSA-less DIMM slot must be transparently
+        // staged into a device-visible home region — the shard never
+        // sees slot-1 CAS, so without re-homing the offload starves.
+        let mut cfg = HostConfig::default();
+        cfg.mem.dram.topology.dimms_per_channel = 2;
+        let topo = cfg.mem.dram.topology;
+        let mut h = CompCpyHost::new(cfg);
+        // Far above the driver pool so home-region carving can't collide.
+        let src = slot1_page(&topo, 0x0100_0000);
+        let dst = h.alloc_pages(1);
+        let msg = ulp_compress::corpus::text(4096, 11);
+        h.mem_mut().store(src, &msg, 0);
+        let key = [0x33u8; 16];
+        let iv = [0x44u8; 12];
+        let handle = h
+            .comp_cpy(
+                dst,
+                src,
+                msg.len(),
+                OffloadOp::TlsEncrypt { key, iv },
+                false,
+                0,
+            )
+            .expect("re-homed offload accepted");
+        let ct = h.use_buffer(&handle);
+        let gcm = ulp_crypto::gcm::AesGcm::new_128(&key);
+        let (want, tag) = gcm.seal(&iv, b"", &msg);
+        assert_eq!(ct, want);
+        assert_eq!(h.tag(&handle), Some(tag));
+        assert_eq!(h.sched_stats().rehomed_offloads, 1);
+        assert_eq!(h.sched_stats().static_placements, 0);
+    }
+
+    #[test]
+    fn rehomed_offloads_reuse_pooled_home_regions() {
+        let mut cfg = HostConfig::default();
+        cfg.mem.dram.topology.dimms_per_channel = 2;
+        let topo = cfg.mem.dram.topology;
+        let mut h = CompCpyHost::new(cfg);
+        let src = slot1_page(&topo, 0x0100_0000);
+        let dst = h.alloc_pages(1);
+        let key = [0x55u8; 16];
+        for i in 0..4u64 {
+            let msg = ulp_compress::corpus::json(4096, 40 + i);
+            h.mem_mut().store(src, &msg, 0);
+            let iv = [(i + 1) as u8; 12];
+            let handle = h
+                .comp_cpy(
+                    dst,
+                    src,
+                    msg.len(),
+                    OffloadOp::TlsEncrypt { key, iv },
+                    false,
+                    0,
+                )
+                .unwrap();
+            let ct = h.use_buffer(&handle);
+            let gcm = ulp_crypto::gcm::AesGcm::new_128(&key);
+            let (want, _) = gcm.seal(&iv, b"", &msg);
+            assert_eq!(ct, want, "round {i}");
+        }
+        assert_eq!(h.sched_stats().rehomed_offloads, 4);
+    }
+
+    #[test]
+    fn occupancy_locality_migrates_remote_source_home() {
+        // Two channels split across two sockets, page-granular
+        // interleave: a source page on the remote socket's channel
+        // stays put under the static decode but migrates to the local
+        // shard under occupancy+locality scheduling.
+        let mk = |policy| {
+            let mut cfg = HostConfig::default();
+            cfg.mem.dram.topology.channels = 2;
+            cfg.mem.dram.topology.sockets = 2;
+            cfg.mem.dram.topology.channel_interleave_lines = 64;
+            cfg.mem.dram.interconnect_penalty_cycles = 200;
+            cfg.sched.policy = policy;
+            CompCpyHost::new(cfg)
+        };
+        let src = PhysAddr(0x0100_1000); // decodes to channel 1 (remote socket)
+        let dst = PhysAddr(0x0100_0000); // decodes to channel 0 (home socket)
+        let msg = ulp_compress::corpus::html(4096, 9);
+        let key = [0x66u8; 16];
+        let iv = [0x77u8; 12];
+        let gcm = ulp_crypto::gcm::AesGcm::new_128(&key);
+        let (want, want_tag) = gcm.seal(&iv, b"", &msg);
+
+        let mut h = mk(sched::PlacementPolicy::Static);
+        h.mem_mut().store(src, &msg, 0);
+        let handle = h
+            .comp_cpy(
+                dst,
+                src,
+                msg.len(),
+                OffloadOp::TlsEncrypt { key, iv },
+                false,
+                0,
+            )
+            .unwrap();
+        assert_eq!(h.use_buffer(&handle), want);
+        assert_eq!(h.tag(&handle), Some(want_tag));
+        let s = h.sched_stats();
+        assert_eq!(s.migrated_offloads, 0, "static decode never migrates");
+        assert_eq!(s.remote_placements, 1, "source stayed on the remote shard");
+
+        let mut h = mk(sched::PlacementPolicy::OccupancyLocality);
+        h.mem_mut().store(src, &msg, 0);
+        let handle = h
+            .comp_cpy(
+                dst,
+                src,
+                msg.len(),
+                OffloadOp::TlsEncrypt { key, iv },
+                false,
+                0,
+            )
+            .unwrap();
+        assert_eq!(h.use_buffer(&handle), want);
+        assert_eq!(h.tag(&handle), Some(want_tag));
+        let s = h.sched_stats();
+        assert_eq!(s.migrated_offloads, 1, "locality pulled the offload home");
+        assert_eq!(s.local_placements, 1);
+        assert_eq!(s.remote_placements, 0);
     }
 
     #[test]

@@ -54,6 +54,11 @@ pub struct SmartDimmConfig {
     /// Which memory channel this device sits on (one SmartDIMM per
     /// channel under interleaving, §V-D).
     pub channel: usize,
+    /// Which DIMM slot of the channel carries this device. Slot 0 by
+    /// convention — the other slots are plain capacity DIMMs whose CAS
+    /// traffic this device never sees, so registrations must only claim
+    /// lines that decode to this slot.
+    pub dimm_slot: usize,
     /// Deflate DSA geometry.
     pub hw_deflate: HwDeflateConfig,
 }
@@ -68,6 +73,7 @@ impl Default for SmartDimmConfig {
             config_base: PhysAddr(0x4000_0000),
             topology: DramTopology::default(),
             channel: 0,
+            dimm_slot: 0,
             hw_deflate: HwDeflateConfig::default(),
         }
     }
@@ -407,6 +413,15 @@ impl SmartDimmDevice {
         addr.0 >= self.cfg.config_base.0 && addr.0 < self.cfg.config_base.0 + span
     }
 
+    /// Whether `line_addr` decodes to this shard's channel *and* DIMM
+    /// slot — the only lines whose CAS traffic this device observes
+    /// (capacity DIMMs on the same bus carry no DSA).
+    fn line_on_shard(&self, line_addr: PhysAddr) -> bool {
+        let loc = self.mapper.decode(line_addr);
+        loc.channel == self.cfg.channel
+            && self.cfg.topology.dimm_slot_of_rank(loc.rank) == self.cfg.dimm_slot
+    }
+
     /// De-interleaves a physical config-space address into this device's
     /// logical register offset. Fine-grain channel interleaving spreads
     /// consecutive cachelines across channels, so each DIMM's private
@@ -596,7 +611,7 @@ impl SmartDimmDevice {
         let mut expected_mask = 0u64;
         for l in 0..covered_lines {
             let line_addr = PhysAddr(reg.dst_page_addr + (l as u64) * 64);
-            if self.mapper.decode(line_addr).channel == self.cfg.channel {
+            if self.line_on_shard(line_addr) {
                 expected_mask |= 1u64 << l;
             }
         }
@@ -610,7 +625,7 @@ impl SmartDimmDevice {
         let mut src_mask = 0u64;
         for l in 0..src_lines {
             let line_addr = PhysAddr(reg.src_page_addr + (l as u64) * 64);
-            if self.mapper.decode(line_addr).channel == self.cfg.channel {
+            if self.line_on_shard(line_addr) {
                 src_mask |= 1u64 << l;
             }
         }

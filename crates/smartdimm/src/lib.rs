@@ -61,6 +61,7 @@ pub mod device;
 pub mod dsa;
 pub mod oracle;
 pub mod policy;
+pub mod sched;
 pub mod scratchpad;
 pub mod xlat;
 
@@ -69,6 +70,7 @@ pub use device::{DeviceStats, SmartDimmConfig, SmartDimmDevice};
 pub use dsa::OffloadOp;
 pub use oracle::{FaultOracle, Recovery, ScenarioOutcome};
 pub use policy::{AdaptivePolicy, Placement};
+pub use sched::{PlacementPolicy, SchedConfig, SchedStats};
 
 /// OS page size — the registration granularity (§IV-A).
 pub const PAGE: usize = 4096;

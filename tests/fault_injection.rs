@@ -174,6 +174,54 @@ fn force_recycle_fires_across_the_sweep() {
 }
 
 #[test]
+fn ranks2_sweep_is_byte_exact_on_both_backends() {
+    // Two ranks per DIMM interleave consecutive line groups across rank
+    // address bits. The sweep drives the same seeded fault plans through
+    // both fidelity tiers and demands byte-exactness plus identical
+    // recovery traces across backends: rank decode is purely functional,
+    // so the tiers may differ only in timing.
+    use dram::BackendKind;
+    for dimms in [1usize, 2] {
+        let mut traces: Vec<Vec<Vec<String>>> = Vec::new();
+        for backend in [BackendKind::CycleAccurate, BackendKind::FastQueue] {
+            let mut per_seed = Vec::new();
+            for seed in 0..8u64 {
+                let plan = FaultPlan::generate(seed, OPS_PER_PLAN);
+                let mut cfg = stress_config();
+                cfg.mem.dram.topology.ranks = 2;
+                cfg.mem.dram.topology.dimms_per_channel = dimms;
+                cfg.mem.backend = backend;
+                let mut oracle = FaultOracle::new(cfg, plan);
+                let mut rng = DetRng::new(seed ^ 0x2a17);
+                let key = [0xC3u8; 16];
+                for i in 0..OPS_PER_PLAN {
+                    let size = 64 + rng.gen_range(0..8000) as usize;
+                    let msg = content((i % 3) as u8, size, rng.gen_range(0..u64::MAX));
+                    let mut iv = [0u8; 12];
+                    iv[..8].copy_from_slice(&(seed * 1000 + i).to_le_bytes());
+                    let op = if rng.gen_bool(0.5) {
+                        OffloadOp::TlsEncrypt { key, iv }
+                    } else {
+                        OffloadOp::TlsDecrypt { key, iv }
+                    };
+                    oracle.check(op, &msg, b"hdr173");
+                    oracle.assert_occupancy_bound();
+                }
+                let mut trace = oracle.fired_log();
+                trace.extend(oracle.recoveries().iter().map(|r| format!("{r:?}")));
+                per_seed.push(trace);
+            }
+            traces.push(per_seed);
+        }
+        assert_eq!(
+            traces[0], traces[1],
+            "fault/recovery traces diverged between backends \
+             (ranks=2, dimms_per_channel={dimms})"
+        );
+    }
+}
+
+#[test]
 fn same_seed_reproduces_identical_traces() {
     for seed in [0u64, 13, 42, 77, 99] {
         assert_eq!(
